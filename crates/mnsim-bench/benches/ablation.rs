@@ -1,0 +1,93 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! 2. worst-case vs average-case accuracy estimation cost,
+//! 3. dual-crossbar vs shared-crossbar signed-weight mapping
+//!    (full bank evaluation under both mappings),
+//! plus the paper-linear vs quadratic wire-term model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnsim_bench::experiments::large_bank_config;
+use mnsim_core::accuracy::{AccuracyModel, Case};
+use mnsim_core::config::{InputEncoding, SignedMapping};
+use mnsim_core::simulate::simulate;
+use mnsim_tech::units::Resistance;
+
+fn bench_case_estimation(c: &mut Criterion) {
+    let config = large_bank_config();
+    let model = AccuracyModel::from_config(&config);
+    let mut group = c.benchmark_group("ablation/estimation_case");
+    for (name, case) in [("worst", Case::Worst), ("average", Case::Average)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(model.error_rate(
+                    256,
+                    256,
+                    config.interconnect,
+                    &config.device,
+                    case,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_signed_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/signed_mapping");
+    for (name, mapping) in [
+        ("dual_crossbar", SignedMapping::DualCrossbar),
+        ("shared_crossbar", SignedMapping::SharedCrossbar),
+    ] {
+        let mut config = large_bank_config();
+        config.signed_mapping = mapping;
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(simulate(&config).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_models(c: &mut Criterion) {
+    let config = large_bank_config();
+    let linear = AccuracyModel::paper_linear(Resistance::from_ohms(10.0));
+    let quadratic = AccuracyModel::new(Resistance::from_ohms(10.0));
+    let mut group = c.benchmark_group("ablation/wire_model");
+    for (name, model) in [("paper_linear", &linear), ("quadratic", &quadratic)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(model.error_rate(
+                    128,
+                    128,
+                    config.interconnect,
+                    &config.device,
+                    Case::Worst,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_input_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/input_encoding");
+    for (name, encoding) in [
+        ("analog_dac", InputEncoding::AnalogDac),
+        ("bit_serial", InputEncoding::BitSerial),
+    ] {
+        let mut config = large_bank_config();
+        config.input_encoding = encoding;
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(simulate(&config).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_case_estimation,
+    bench_signed_mapping,
+    bench_wire_models,
+    bench_input_encoding
+);
+criterion_main!(benches);

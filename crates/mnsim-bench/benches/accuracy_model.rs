@@ -1,0 +1,52 @@
+//! Cost of the behavior-level accuracy model (Fig. 5 / Eq. 11–16 path):
+//! single-crossbar error rate, quantization deviations, and the full
+//! multi-layer propagation chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnsim_core::accuracy::{avg_digital_deviation, propagate, AccuracyModel, Case};
+use mnsim_core::config::Config;
+
+fn bench_crossbar_error(c: &mut Criterion) {
+    let config = Config::fully_connected_mlp(&[128, 128]).unwrap();
+    let model = AccuracyModel::from_config(&config);
+    let mut group = c.benchmark_group("accuracy/crossbar_error");
+    for &size in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                std::hint::black_box(model.error_rate(
+                    size,
+                    size,
+                    config.interconnect,
+                    &config.device,
+                    Case::Worst,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    c.bench_function("accuracy/avg_digital_deviation_k256", |b| {
+        b.iter(|| std::hint::black_box(avg_digital_deviation(256, 0.07)));
+    });
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accuracy/propagation");
+    for &depth in &[2usize, 16, 64] {
+        let epsilons = vec![0.05; depth];
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &epsilons, |b, eps| {
+            b.iter(|| std::hint::black_box(propagate(eps, 256)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crossbar_error,
+    bench_quantization,
+    bench_propagation
+);
+criterion_main!(benches);

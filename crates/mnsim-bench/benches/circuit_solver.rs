@@ -1,0 +1,62 @@
+//! Circuit-solver ablation: Jacobi-CG vs dense LU on the reduced crossbar
+//! system, locating the crossover size (DESIGN.md ablation 1), plus the
+//! Newton overhead of non-linear cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnsim_circuit::crossbar::CrossbarSpec;
+use mnsim_circuit::solve::{solve_dc, Method, SolveOptions};
+use mnsim_tech::memristor::IvModel;
+use mnsim_tech::units::{Resistance, Voltage};
+
+fn linear_spec(size: usize) -> CrossbarSpec {
+    CrossbarSpec::uniform(
+        size,
+        size,
+        Resistance::from_kilo_ohms(10.0),
+        Resistance::from_ohms(2.0),
+        Resistance::from_ohms(10.0),
+        Voltage::from_volts(0.5),
+    )
+}
+
+fn bench_cg_vs_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/cg_vs_lu");
+    group.sample_size(10);
+    for &size in &[4usize, 8, 12, 16] {
+        let xbar = linear_spec(size).build().unwrap();
+        for (name, method) in [("cg", Method::Cg), ("lu", Method::DenseLu)] {
+            let options = SolveOptions {
+                method,
+                ..SolveOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, size),
+                &(&xbar, options),
+                |b, (xbar, options)| {
+                    b.iter(|| solve_dc(xbar.circuit(), options).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_newton_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/newton_overhead");
+    group.sample_size(10);
+    let size = 32;
+    let linear = linear_spec(size).build().unwrap();
+    let mut nonlinear_spec = linear_spec(size);
+    nonlinear_spec.iv = IvModel::Sinh { alpha: 2.5 };
+    let nonlinear = nonlinear_spec.build().unwrap();
+    group.bench_function("linear", |b| {
+        b.iter(|| solve_dc(linear.circuit(), &SolveOptions::default()).unwrap());
+    });
+    group.bench_function("nonlinear_newton", |b| {
+        b.iter(|| solve_dc(nonlinear.circuit(), &SolveOptions::default()).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg_vs_lu, bench_newton_overhead);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Design-space-exploration throughput (the paper's "10,220 designs within
+//! 4 seconds" claim) and the serial-vs-threaded ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnsim_bench::experiments::large_bank_config;
+use mnsim_core::dse::{explore, explore_parallel, Constraints, DesignSpace};
+use mnsim_core::simulate::simulate;
+use mnsim_tech::interconnect::InterconnectNode;
+
+fn reduced_space() -> DesignSpace {
+    DesignSpace {
+        crossbar_sizes: vec![32, 64, 128, 256],
+        parallelism_degrees: vec![1, 8, 64],
+        interconnects: vec![InterconnectNode::N28, InterconnectNode::N45],
+    }
+}
+
+fn bench_single_evaluation(c: &mut Criterion) {
+    let config = large_bank_config();
+    c.bench_function("dse/single_design_evaluation", |b| {
+        b.iter(|| std::hint::black_box(simulate(&config).unwrap()));
+    });
+}
+
+fn bench_explore_serial(c: &mut Criterion) {
+    let base = large_bank_config();
+    let space = reduced_space();
+    let mut group = c.benchmark_group("dse/traversal");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| explore(&base, &space, &Constraints::default()).unwrap());
+    });
+    group.bench_function("parallel_4_threads", |b| {
+        b.iter(|| explore_parallel(&base, &space, &Constraints::default(), 4).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_evaluation, bench_explore_serial);
+criterion_main!(benches);

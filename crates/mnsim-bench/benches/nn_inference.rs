@@ -1,0 +1,62 @@
+//! Network-substrate throughput: fully-connected and convolution forward
+//! passes, training steps, and quantization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnsim_nn::layers::{Activation, Conv2d, FullyConnected};
+use mnsim_nn::quantize::Quantizer;
+use mnsim_nn::tensor::Tensor;
+use mnsim_nn::train::Mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fc_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn/fc_forward");
+    for &n in &[128usize, 512, 2048] {
+        let fc = FullyConnected::zeros(n, n);
+        let x = Tensor::vector(&vec![0.5; n]);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(&fc, &x), |b, (fc, x)| {
+            b.iter(|| fc.forward(x).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let conv = Conv2d::zeros(16, 16, 3, 1, 1).unwrap();
+    let input = Tensor::zeros(&[16, 28, 28]);
+    c.bench_function("nn/conv3x3_16ch_28px", |b| {
+        b.iter(|| conv.forward(&input).unwrap());
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut mlp = Mlp::random(
+        &[64, 16, 64],
+        Activation::Sigmoid,
+        Activation::Sigmoid,
+        &mut rng,
+    )
+    .unwrap();
+    let x = Tensor::vector(&vec![0.5; 64]);
+    c.bench_function("nn/train_sample_64_16_64", |b| {
+        b.iter(|| mlp.train_sample(&x, &x, 0.1).unwrap());
+    });
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let q = Quantizer::unsigned_unit(8).unwrap();
+    let t = Tensor::vector(&(0..4096).map(|i| i as f64 / 4095.0).collect::<Vec<_>>());
+    c.bench_function("nn/quantize_4096", |b| {
+        b.iter(|| q.quantize_tensor(&t));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fc_forward,
+    bench_conv_forward,
+    bench_training_step,
+    bench_quantization
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! **Fig. 6** — layout-area validation of the crossbar + computation-
+//! oriented decoder (32×32 1T1R, 130 nm).
+//!
+//! The paper measures 3420 µm² from its layout against a 2251 µm² model
+//! estimate, and folds the ratio back in as a calibration coefficient. We
+//! reproduce the flow: raw model estimate → calibration coefficient →
+//! calibrated estimate (the layout itself is the documented substitution:
+//! `raw × 1.519`).
+
+use mnsim_core::modules::crossbar::{CrossbarModel, AREA_CALIBRATION};
+use mnsim_core::modules::decoder::compute_decoder;
+use mnsim_tech::cmos::CmosNode;
+use mnsim_tech::interconnect::InterconnectNode;
+use mnsim_tech::memristor::MemristorModel;
+
+/// Runs the area validation and renders the comparison.
+pub fn run() -> String {
+    let mut device = MemristorModel::rram_default();
+    device.feature_nm = 130;
+    let cmos = CmosNode::N130.params();
+
+    let mut uncalibrated = CrossbarModel::new(32, &device, InterconnectNode::N90);
+    uncalibrated.area_calibration = 1.0;
+    let raw = uncalibrated.area().square_micrometers()
+        + 2.0 * compute_decoder(&cmos, 32).area.square_micrometers();
+
+    let calibrated = raw * AREA_CALIBRATION;
+    // Our "layout" stand-in is the calibrated value (see DESIGN.md): the
+    // paper's own layout exceeds its raw estimate by exactly this ratio.
+    let layout = calibrated;
+
+    format!(
+        "Fig. 6 — layout-area validation (32x32 1T1R crossbar + decoders, 130 nm)\n\n\
+         raw model estimate:        {raw:>10.1} um^2   (paper: 2251 um^2)\n\
+         layout (substitute):       {layout:>10.1} um^2   (paper: 3420 um^2)\n\
+         calibration coefficient:   {AREA_CALIBRATION:>10.3}      (paper: 3420/2251 = 1.519)\n\
+         calibrated estimate:       {calibrated:>10.1} um^2\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_exceeds_raw_by_the_fig6_ratio() {
+        let text = run();
+        assert!(text.contains("calibration coefficient"));
+        assert!(text.contains("1.519"));
+    }
+
+    #[test]
+    fn raw_estimate_same_order_as_paper() {
+        // 32×32 1T1R at 130 nm: 1024 cells × 9 F² ≈ 156 µm² of cells plus
+        // decoders; the paper's 2251 µm² includes peripheral overheads.
+        let mut device = MemristorModel::rram_default();
+        device.feature_nm = 130;
+        let mut m = CrossbarModel::new(32, &device, InterconnectNode::N90);
+        m.area_calibration = 1.0;
+        let cells = m.area().square_micrometers();
+        assert!(cells > 50.0 && cells < 1000.0, "{cells}");
+    }
+}

@@ -1,0 +1,131 @@
+//! **Fig. 7** — influence of the computation parallelism degree on area
+//! and latency, per crossbar size, normalized by each size's maximum
+//! (paper shape: latency rises steeply as the parallelism drops, area
+//! falls, and the area gain saturates for large crossbars because neurons
+//! and peripheral circuits dominate).
+
+use mnsim_core::simulate::simulate;
+
+use super::{large_bank_config, row};
+
+/// The per-size parallelism sweep results.
+#[derive(Debug, Clone)]
+pub struct SweepSeries {
+    /// Crossbar size of this series.
+    pub crossbar_size: usize,
+    /// Parallelism degrees swept.
+    pub degrees: Vec<usize>,
+    /// Normalized area per degree (max = 1).
+    pub normalized_area: Vec<f64>,
+    /// Normalized latency per degree (max = 1).
+    pub normalized_latency: Vec<f64>,
+}
+
+/// Runs the sweep over the given sizes and degrees.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn sweep(
+    sizes: &[usize],
+    degrees: &[usize],
+) -> Result<Vec<SweepSeries>, Box<dyn std::error::Error>> {
+    let base = large_bank_config();
+    let mut series = Vec::new();
+    for &size in sizes {
+        let mut areas = Vec::new();
+        let mut latencies = Vec::new();
+        let mut used_degrees = Vec::new();
+        for &p in degrees {
+            if p > size {
+                continue;
+            }
+            let mut config = base.clone();
+            config.crossbar_size = size;
+            config.parallelism = p;
+            let report = simulate(&config)?;
+            areas.push(report.total_area.square_meters());
+            latencies.push(report.sample_latency.seconds());
+            used_degrees.push(p);
+        }
+        let max_area = areas.iter().cloned().fold(0.0, f64::max);
+        let max_latency = latencies.iter().cloned().fold(0.0, f64::max);
+        series.push(SweepSeries {
+            crossbar_size: size,
+            degrees: used_degrees,
+            normalized_area: areas.iter().map(|a| a / max_area).collect(),
+            normalized_latency: latencies.iter().map(|l| l / max_latency).collect(),
+        });
+    }
+    Ok(series)
+}
+
+/// Runs the paper's sweep and renders the normalized curves.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run() -> Result<String, Box<dyn std::error::Error>> {
+    let sizes = [64usize, 128, 256, 512];
+    let degrees = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+    let series = sweep(&sizes, &degrees)?;
+
+    let mut out = String::new();
+    out.push_str(
+        "Fig. 7 — parallelism degree vs normalized area and latency (per crossbar size)\n\n",
+    );
+    for s in &series {
+        out.push_str(&format!("crossbar size {}\n", s.crossbar_size));
+        out.push_str(&row(
+            "  parallelism",
+            &s.degrees.iter().map(|d| d.to_string()).collect::<Vec<_>>(),
+        ));
+        out.push_str(&row(
+            "  area (norm)",
+            &s.normalized_area
+                .iter()
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>(),
+        ));
+        out.push_str(&row(
+            "  latency (norm)",
+            &s.normalized_latency
+                .iter()
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>(),
+        ));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_falls_area_rises_with_parallelism() {
+        let series = sweep(&[128], &[1, 16, 128]).unwrap();
+        let s = &series[0];
+        // Latency is maximal at p = 1 and falls with parallelism.
+        assert_eq!(s.normalized_latency[0], 1.0);
+        assert!(s.normalized_latency[2] < s.normalized_latency[0]);
+        // Area is maximal fully parallel and falls as circuits are shared.
+        assert_eq!(*s.normalized_area.last().unwrap(), 1.0);
+        assert!(s.normalized_area[0] < 1.0);
+    }
+
+    #[test]
+    fn area_reduction_saturates_for_large_crossbars() {
+        // The paper: with large crossbars the neurons/peripheral circuits
+        // dominate, limiting the gain from sharing read circuits.
+        let series = sweep(&[64, 512], &[1, 64]).unwrap();
+        let span = |s: &SweepSeries| s.normalized_area[1] - s.normalized_area[0];
+        let small = span(&series[0]);
+        let large = span(&series[1]);
+        assert!(
+            large < small,
+            "area span at size 512 ({large:.3}) should be below size 64 ({small:.3})"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! **Fig. 8** — the area-latency trade-off across parallelism degrees and
+//! crossbar sizes (paper shape: each size traces a curve with an
+//! inflection point — large area reductions are available for little
+//! latency at first, then latency explodes).
+
+use mnsim_core::simulate::simulate;
+
+use super::large_bank_config;
+
+/// One point of a trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Parallelism degree.
+    pub parallelism: usize,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Latency in µs.
+    pub latency_us: f64,
+}
+
+/// Computes the trade-off curve for one crossbar size.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn curve(
+    size: usize,
+    degrees: &[usize],
+) -> Result<Vec<TradeoffPoint>, Box<dyn std::error::Error>> {
+    let base = large_bank_config();
+    let mut points = Vec::new();
+    for &p in degrees {
+        if p > size {
+            continue;
+        }
+        let mut config = base.clone();
+        config.crossbar_size = size;
+        config.parallelism = p;
+        let report = simulate(&config)?;
+        points.push(TradeoffPoint {
+            parallelism: p,
+            area_mm2: report.total_area.square_millimeters(),
+            latency_us: report.sample_latency.microseconds(),
+        });
+    }
+    Ok(points)
+}
+
+/// Index of the inflection (knee) point of a curve: the point maximizing
+/// the distance to the straight line between the curve's endpoints in
+/// normalized coordinates.
+pub fn knee_index(points: &[TradeoffPoint]) -> usize {
+    if points.len() < 3 {
+        return 0;
+    }
+    let (a0, l0) = (points[0].area_mm2, points[0].latency_us);
+    let (a1, l1) = (
+        points[points.len() - 1].area_mm2,
+        points[points.len() - 1].latency_us,
+    );
+    let norm = |p: &TradeoffPoint| {
+        (
+            (p.area_mm2 - a0) / (a1 - a0 + f64::EPSILON),
+            (p.latency_us - l0) / (l1 - l0 + f64::EPSILON),
+        )
+    };
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let (x, y) = norm(p);
+            // Distance to the x + y = diagonal chord (endpoints map to
+            // (0,0) and (1,1)).
+            (i, (x - y).abs())
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Runs the paper's sweep and renders the curves with knee markers.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run() -> Result<String, Box<dyn std::error::Error>> {
+    let degrees = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    let mut out = String::new();
+    out.push_str("Fig. 8 — area vs latency trade-off per crossbar size\n\n");
+    for &size in &[64usize, 128, 256] {
+        let points = curve(size, &degrees)?;
+        let knee = knee_index(&points);
+        out.push_str(&format!("crossbar size {size}\n"));
+        for (i, p) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "  p={:<4} area {:>10.2} mm^2   latency {:>10.3} us{}\n",
+                p.parallelism,
+                p.area_mm2,
+                p.latency_us,
+                if i == knee { "   <- inflection" } else { "" }
+            ));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone_tradeoff() {
+        let points = curve(128, &[1, 8, 64, 128]).unwrap();
+        for pair in points.windows(2) {
+            assert!(pair[1].area_mm2 >= pair[0].area_mm2);
+            assert!(pair[1].latency_us <= pair[0].latency_us);
+        }
+    }
+
+    #[test]
+    fn knee_is_interior_for_convex_curves() {
+        let points = curve(128, &[1, 2, 4, 8, 16, 32, 64, 128]).unwrap();
+        let knee = knee_index(&points);
+        assert!(knee > 0 && knee < points.len() - 1, "knee at {knee}");
+    }
+
+    #[test]
+    fn knee_of_tiny_curves_is_zero() {
+        let points = vec![
+            TradeoffPoint {
+                parallelism: 1,
+                area_mm2: 1.0,
+                latency_us: 2.0,
+            };
+            2
+        ];
+        assert_eq!(knee_index(&points), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! **§VII.A (accuracy validation)** — the JPEG-encoding-style application:
+//! a 64-16-64 autoencoder (after Li et al.'s RRAM approximate computing)
+//! trained on 8×8 smooth patches. The behavior-level accuracy model
+//! predicts the average output deviation; injecting exactly the predicted
+//! per-layer digital deviation into a real quantized inference must land
+//! within ~1 % of the prediction (the paper: "the error rate of accuracy
+//! model is less than 1 %").
+
+use mnsim_core::accuracy::{propagate, AccuracyModel, Case};
+use mnsim_core::config::Config;
+use mnsim_nn::data::smooth_patches;
+use mnsim_nn::layers::{Activation, Layer};
+use mnsim_nn::noise::{inject_digital_deviation, relative_accuracy};
+use mnsim_nn::quantize::Quantizer;
+use mnsim_nn::tensor::Tensor;
+use mnsim_nn::train::Mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The result of the application-level accuracy validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JpegResult {
+    /// Autoencoder training loss after the final epoch.
+    pub final_training_loss: f64,
+    /// Model-predicted average relative accuracy (1 − avg error rate).
+    pub predicted_accuracy: f64,
+    /// Measured average relative accuracy with injected deviations.
+    pub measured_accuracy: f64,
+}
+
+impl JpegResult {
+    /// |predicted − measured| in percentage points — the paper's "error
+    /// rate of the accuracy model".
+    pub fn model_error_points(&self) -> f64 {
+        (self.predicted_accuracy - self.measured_accuracy).abs() * 100.0
+    }
+}
+
+/// Trains the autoencoder and runs the validation.
+///
+/// # Errors
+///
+/// Propagates training/shape errors.
+pub fn evaluate(
+    train_patches: usize,
+    test_patches: usize,
+    epochs: usize,
+) -> Result<JpegResult, Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(20160314);
+
+    // --- train the 64-16-64 autoencoder ------------------------------------
+    let mut mlp = Mlp::random(
+        &[64, 16, 64],
+        Activation::Sigmoid,
+        Activation::Sigmoid,
+        &mut rng,
+    )?;
+    let patches = smooth_patches(train_patches + test_patches, &mut rng);
+    let train: Vec<(Tensor, Tensor)> = patches[..train_patches]
+        .iter()
+        .map(|p| (p.clone(), p.clone()))
+        .collect();
+    let history = mlp.train(&train, epochs, 0.8)?;
+    let final_training_loss = *history.last().expect("at least one epoch");
+
+    // --- per-layer deviation prediction -------------------------------------
+    let mut config = Config::fully_connected_mlp(&[64, 16, 64])?;
+    config.crossbar_size = 64;
+    let model = AccuracyModel::from_config(&config);
+    let k = config.output_levels();
+    let quantizer = Quantizer::new(config.precision.output_bits, 0.0, 1.0)?;
+
+    // Crossbar geometries of the two banks: 64×16 and 16×64.
+    let epsilons = vec![
+        model.error_rate(64, 16, config.interconnect, &config.device, Case::Average),
+        model.error_rate(16, 64, config.interconnect, &config.device, Case::Average),
+    ];
+    let layers = propagate(&epsilons, k);
+    let deviations: Vec<f64> = layers.iter().map(|l| l.avg_deviation).collect();
+    let predicted_accuracy = 1.0 - layers.last().expect("two layers").avg_error_rate;
+
+    // --- measured: quantized inference with injected deviations -------------
+    let network = mlp.to_network();
+    let mut total_accuracy = 0.0;
+    for patch in &patches[train_patches..] {
+        let reference = quantized_forward(&network, patch, &quantizer, None, &mut rng)?;
+        let noisy =
+            quantized_forward(&network, patch, &quantizer, Some(&deviations), &mut rng)?;
+        total_accuracy += relative_accuracy(&reference, &noisy);
+    }
+    let measured_accuracy = total_accuracy / test_patches as f64;
+
+    Ok(JpegResult {
+        final_training_loss,
+        predicted_accuracy,
+        measured_accuracy,
+    })
+}
+
+/// Forward pass with per-layer quantization and optional deviation
+/// injection after each synapse-plus-neuron stage.
+fn quantized_forward(
+    network: &mnsim_nn::Network,
+    input: &Tensor,
+    quantizer: &Quantizer,
+    deviations: Option<&[f64]>,
+    rng: &mut StdRng,
+) -> Result<Tensor, Box<dyn std::error::Error>> {
+    let mut current = quantizer.quantize_tensor(input);
+    let mut synapse_index = 0usize;
+    let mut pending_synapse = false;
+    for layer in network.layers() {
+        current = layer.forward(&current)?;
+        match layer {
+            Layer::FullyConnected(_) => pending_synapse = true,
+            Layer::Activation(_) if pending_synapse => {
+                pending_synapse = false;
+                current = quantizer.quantize_tensor(&current);
+                if let Some(devs) = deviations {
+                    current =
+                        inject_digital_deviation(&current, quantizer, devs[synapse_index], rng);
+                }
+                synapse_index += 1;
+            }
+            _ => {}
+        }
+    }
+    Ok(current)
+}
+
+/// Runs the experiment and renders the summary.
+///
+/// # Errors
+///
+/// Propagates training/shape errors.
+pub fn run() -> Result<String, Box<dyn std::error::Error>> {
+    let result = evaluate(48, 16, 400)?;
+    Ok(format!(
+        "JPEG-style accuracy validation (64-16-64 autoencoder, paper §VII.A)\n\n\
+         final training loss (MSE):        {:.5}\n\
+         predicted relative accuracy:      {:.2} %\n\
+         measured relative accuracy:       {:.2} %\n\
+         accuracy-model error:             {:.2} points (paper: < 1 %)\n",
+        result.final_training_loss,
+        result.predicted_accuracy * 100.0,
+        result.measured_accuracy * 100.0,
+        result.model_error_points(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_predicts_application_accuracy() {
+        // Reduced workload for test speed; the tolerance stays strict
+        // enough to catch a broken propagation chain.
+        let result = evaluate(24, 8, 150).unwrap();
+        assert!(result.final_training_loss < 0.1, "autoencoder failed to train");
+        assert!(result.predicted_accuracy > 0.5);
+        assert!(result.measured_accuracy > 0.5);
+        assert!(
+            result.model_error_points() < 5.0,
+            "prediction {:.2} % vs measurement {:.2} %",
+            result.predicted_accuracy * 100.0,
+            result.measured_accuracy * 100.0
+        );
+    }
+}

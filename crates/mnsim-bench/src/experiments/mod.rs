@@ -1,0 +1,87 @@
+//! One module per regenerated table/figure, plus shared configuration
+//! helpers.
+
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod jpeg;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod variation;
+
+use mnsim_core::config::{Config, Precision};
+use mnsim_nn::models;
+use mnsim_tech::cmos::CmosNode;
+
+/// The paper's Table II validation setup: a 3-layer fully-connected NN
+/// with two 128×128 network layers, 90 nm CMOS.
+pub fn table2_config() -> Config {
+    let mut config =
+        Config::for_network(models::mlp(&[128, 128, 128]).expect("static dims"));
+    config.cmos = CmosNode::N90;
+    config.crossbar_size = 128;
+    config
+}
+
+/// The paper's §VII.C large-computation-bank setup: one 2048×1024 layer,
+/// 45 nm CMOS, 4-bit signed weights, 8-bit signals, 7-bit cells.
+pub fn large_bank_config() -> Config {
+    let mut config = Config::for_network(models::large_bank_layer());
+    config.cmos = CmosNode::N45;
+    config.precision = Precision {
+        input_bits: 8,
+        weight_bits: 4,
+        output_bits: 8,
+    };
+    config.device.bits_per_cell = 7;
+    config
+}
+
+/// Renders a labelled numeric table row.
+pub fn row(label: &str, values: &[String]) -> String {
+    let mut line = format!("{label:<34}");
+    for v in values {
+        line.push_str(&format!("{v:>14}"));
+    }
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_validate() {
+        table2_config().validate().unwrap();
+        large_bank_config().validate().unwrap();
+    }
+
+    #[test]
+    fn table2_config_matches_paper() {
+        let c = table2_config();
+        assert_eq!(c.network.depth(), 2);
+        assert_eq!(c.cmos, CmosNode::N90);
+    }
+
+    #[test]
+    fn large_bank_matches_paper() {
+        let c = large_bank_config();
+        assert_eq!(c.network.total_weights(), 2048 * 1024);
+        assert_eq!(c.precision.weight_bits, 4);
+        assert_eq!(c.device.bits_per_cell, 7);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row("label", &["1.0".into(), "2.0".into()]);
+        assert!(r.contains("label"));
+        assert!(r.ends_with('\n'));
+    }
+}

@@ -1,0 +1,92 @@
+//! **Table V** — the trade-off between area, energy and accuracy over
+//! crossbar sizes (256 → 8) at the 45 nm interconnect node.
+//!
+//! Paper shape: error rate is smallest at a middle crossbar size (wires
+//! hurt big arrays, the non-linear V-I characteristic hurts small ones),
+//! while area and energy fall monotonically as crossbars grow.
+
+use mnsim_core::simulate::simulate;
+use mnsim_tech::interconnect::InterconnectNode;
+
+use super::{large_bank_config, row};
+
+/// The paper's size sweep.
+pub const SIZES: [usize; 6] = [256, 128, 64, 32, 16, 8];
+
+/// Runs the sweep and renders the table.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run() -> Result<String, Box<dyn std::error::Error>> {
+    let mut base = large_bank_config();
+    base.interconnect = InterconnectNode::N45;
+
+    let mut out = String::new();
+    out.push_str("Table V — crossbar-size trade-off (2048x1024 layer, 45 nm wires)\n\n");
+    out.push_str(&row(
+        "crossbar size",
+        &SIZES.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+
+    let mut errors = Vec::new();
+    let mut areas = Vec::new();
+    let mut energies = Vec::new();
+    for &size in &SIZES {
+        let mut config = base.clone();
+        config.crossbar_size = size;
+        let report = simulate(&config)?;
+        errors.push(format!("{:.2}", report.worst_crossbar_epsilon * 100.0));
+        areas.push(format!("{:.2}", report.total_area.square_millimeters()));
+        energies.push(format!("{:.2}", report.energy_per_sample.microjoules()));
+    }
+    out.push_str(&row("error rate (%)", &errors));
+    out.push_str(&row("area (mm^2)", &areas));
+    out.push_str(&row("energy (uJ)", &energies));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_energy_fall_as_crossbars_grow() {
+        // Regenerate the table data and assert the paper's monotone trends.
+        let mut base = large_bank_config();
+        base.interconnect = InterconnectNode::N45;
+        let mut prev_area = f64::INFINITY;
+        let mut prev_energy = f64::INFINITY;
+        for &size in &[8usize, 32, 128] {
+            let mut config = base.clone();
+            config.crossbar_size = size;
+            let report = simulate(&config).unwrap();
+            let area = report.total_area.square_meters();
+            let energy = report.energy_per_sample.joules();
+            assert!(area < prev_area, "area must fall as size grows");
+            assert!(energy < prev_energy, "energy must fall as size grows");
+            prev_area = area;
+            prev_energy = energy;
+        }
+    }
+
+    #[test]
+    fn error_is_worst_at_the_largest_size() {
+        let mut base = large_bank_config();
+        base.interconnect = InterconnectNode::N45;
+        let eps = |size: usize| {
+            let mut config = base.clone();
+            config.crossbar_size = size;
+            simulate(&config).unwrap().worst_crossbar_epsilon
+        };
+        // The paper's wire-dominated end: 256 is worse than 64.
+        assert!(eps(256) > eps(64));
+    }
+
+    #[test]
+    fn renders() {
+        let text = run().unwrap();
+        assert!(text.contains("Table V"));
+        assert!(text.contains("error rate"));
+    }
+}

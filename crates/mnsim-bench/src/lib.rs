@@ -1,0 +1,22 @@
+//! # mnsim-bench — experiment regeneration for the MNSIM reproduction
+//!
+//! One module per paper table/figure; the `repro` binary dispatches to
+//! them. Criterion benches live under `benches/`.
+//!
+//! | Experiment | Function |
+//! |---|---|
+//! | Table II | [`experiments::table2::run`] |
+//! | Table III | [`experiments::table3::run`] |
+//! | Table IV | [`experiments::table4::run`] |
+//! | Table V | [`experiments::table5::run`] |
+//! | Table VI | [`experiments::table6::run`] |
+//! | Table VII | [`experiments::table7::run`] |
+//! | Fig. 5 | [`experiments::fig5::run`] |
+//! | Fig. 6 | [`experiments::fig6::run`] |
+//! | Fig. 7 | [`experiments::fig7::run`] |
+//! | Fig. 8 | [`experiments::fig8::run`] |
+//! | Fig. 9 | [`experiments::fig9::run`] |
+//! | §VII.A JPEG accuracy | [`experiments::jpeg::run`] |
+//! | §VI.D device variation | [`experiments::variation::run`] |
+
+pub mod experiments;

@@ -1,0 +1,67 @@
+//! `repro` — regenerate every table and figure of the MNSIM paper.
+//!
+//! ```text
+//! repro <experiment>   where experiment is one of:
+//!   table2 table3 table4 table5 table6 table7
+//!   fig5 fig6 fig7 fig8 fig9 jpeg all
+//! ```
+
+use mnsim_bench::experiments;
+use mnsim_tech::interconnect::InterconnectNode;
+
+fn main() {
+    let experiment = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
+    if let Err(e) = dispatch(&experiment) {
+        eprintln!("error while running `{experiment}`: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|all>";
+
+fn dispatch(experiment: &str) -> Result<(), Box<dyn std::error::Error>> {
+    match experiment {
+        "table2" => print(experiments::table2::run(3, 5)?),
+        "table3" => print(experiments::table3::run(&[16, 32, 64, 128, 256])?),
+        "table4" => print(experiments::table4::run()?),
+        "table5" => print(experiments::table5::run()?),
+        "table6" => print(experiments::table6::run()?),
+        "table7" => print(experiments::table7::run()?),
+        "fig5" => print(experiments::fig5::run(
+            &[
+                InterconnectNode::N18,
+                InterconnectNode::N28,
+                InterconnectNode::N45,
+                InterconnectNode::N90,
+            ],
+            &[8, 16, 32, 64, 96, 128],
+        )?),
+        "fig6" => print(experiments::fig6::run()),
+        "fig7" => print(experiments::fig7::run()?),
+        "fig8" => print(experiments::fig8::run()?),
+        "fig9" => print(experiments::fig9::run()?),
+        "jpeg" => print(experiments::jpeg::run()?),
+        "variation" => print(experiments::variation::run(&[8, 16, 32], 0.2, 10)?),
+        "all" => {
+            for exp in [
+                "table2", "table3", "table4", "table5", "table6", "table7", "fig5", "fig6",
+                "fig7", "fig8", "fig9", "jpeg", "variation",
+            ] {
+                println!("================================================================");
+                dispatch(exp)?;
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn print(text: String) {
+    println!("{text}");
+}

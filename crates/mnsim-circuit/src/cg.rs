@@ -1,0 +1,267 @@
+//! Jacobi-preconditioned conjugate-gradient solver.
+//!
+//! The reduced nodal matrix of a resistor network with grounded sources is
+//! symmetric positive-definite, which makes conjugate gradients the solver
+//! of choice for large crossbars (a 256×256 crossbar has ≈130 000 unknowns
+//! but only ≈5 non-zeros per row). Jacobi (diagonal) preconditioning tames
+//! the wide conductance spread between ohm-scale wire segments and
+//! megaohm-scale memristor cells.
+
+use crate::error::CircuitError;
+use crate::sparse::CsrMatrix;
+
+/// Options controlling the conjugate-gradient iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgOptions {
+    /// Relative residual tolerance (‖r‖ / ‖b‖).
+    pub tolerance: f64,
+    /// Hard iteration cap; 0 means `10 × n`.
+    pub max_iterations: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tolerance: 1e-10,
+            max_iterations: 0,
+        }
+    }
+}
+
+/// Convergence statistics returned alongside the solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgStats {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Solves `A·x = b` for symmetric positive-definite `A`.
+///
+/// Returns the solution vector together with convergence statistics.
+///
+/// # Errors
+///
+/// * [`CircuitError::DimensionMismatch`] if shapes disagree.
+/// * [`CircuitError::LinearNoConvergence`] if the tolerance is not reached
+///   within the iteration budget.
+/// * [`CircuitError::SingularSystem`] if a zero diagonal entry makes the
+///   Jacobi preconditioner undefined.
+pub fn solve_cg(a: &CsrMatrix, b: &[f64], options: &CgOptions) -> Result<(Vec<f64>, CgStats), CircuitError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(CircuitError::DimensionMismatch {
+            expected: n,
+            actual: a.cols(),
+            what: "matrix must be square",
+        });
+    }
+    if b.len() != n {
+        return Err(CircuitError::DimensionMismatch {
+            expected: n,
+            actual: b.len(),
+            what: "right-hand side length",
+        });
+    }
+    if n == 0 {
+        return Ok((
+            Vec::new(),
+            CgStats {
+                iterations: 0,
+                residual: 0.0,
+            },
+        ));
+    }
+
+    let diag = a.diagonal();
+    let mut inv_diag = vec![0.0; n];
+    for (i, &d) in diag.iter().enumerate() {
+        if d <= 0.0 {
+            return Err(CircuitError::SingularSystem { at: i });
+        }
+        inv_diag[i] = 1.0 / d;
+    }
+
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok((
+            vec![0.0; n],
+            CgStats {
+                iterations: 0,
+                residual: 0.0,
+            },
+        ));
+    }
+
+    let max_iterations = if options.max_iterations == 0 {
+        10 * n
+    } else {
+        options.max_iterations
+    };
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b - A·0
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let mut iterations = 0;
+    let mut residual = norm2(&r) / b_norm;
+
+    while residual > options.tolerance && iterations < max_iterations {
+        a.mul_vec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Not positive definite along p — report as singularity.
+            return Err(CircuitError::SingularSystem { at: iterations });
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        iterations += 1;
+        residual = norm2(&r) / b_norm;
+    }
+
+    if residual > options.tolerance {
+        return Err(CircuitError::LinearNoConvergence {
+            iterations,
+            residual,
+            tolerance: options.tolerance,
+        });
+    }
+
+    Ok((x, CgStats {
+        iterations,
+        residual,
+    }))
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[inline]
+fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletMatrix;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.add(i, i, 2.0);
+            if i > 0 {
+                t.add(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_tridiagonal_laplacian() {
+        let n = 50;
+        let a = laplacian_1d(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b = a.mul_vec(&x_true);
+        let (x, stats) = solve_cg(&a, &b, &CgOptions::default()).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-7, "component {i}");
+        }
+        assert!(stats.iterations <= n + 1, "CG must converge in ≤ n+1 steps");
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = laplacian_1d(10);
+        let (x, stats) = solve_cg(&a, &vec![0.0; 10], &CgOptions::default()).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0));
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn empty_system() {
+        let a = TripletMatrix::new(0, 0).to_csr();
+        let (x, _) = solve_cg(&a, &[], &CgOptions::default()).unwrap();
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let a = laplacian_1d(4);
+        assert!(matches!(
+            solve_cg(&a, &[1.0, 2.0], &CgOptions::default()),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, 1.0);
+        t.add(1, 1, 1.0);
+        let a = t.to_csr();
+        assert!(matches!(
+            solve_cg(&a, &[1.0, 1.0], &CgOptions::default()),
+            Err(CircuitError::SingularSystem { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let a = laplacian_1d(100);
+        let b = vec![1.0; 100];
+        let opts = CgOptions {
+            tolerance: 1e-14,
+            max_iterations: 2,
+        };
+        assert!(matches!(
+            solve_cg(&a, &b, &opts),
+            Err(CircuitError::LinearNoConvergence { iterations: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn badly_scaled_diagonal_still_converges() {
+        // Mimics the crossbar situation: conductances spanning 6 decades.
+        let n = 30;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            let scale = if i % 2 == 0 { 1.0 } else { 1e6 };
+            t.add(i, i, 2.0 * scale);
+            if i > 0 {
+                t.add(i, i - 1, -0.5);
+                t.add(i - 1, i, -0.5);
+            }
+        }
+        let a = t.to_csr();
+        let x_true: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let b = a.mul_vec(&x_true);
+        let (x, _) = solve_cg(&a, &b, &CgOptions::default()).unwrap();
+        for i in 0..n {
+            let rel = (x[i] - x_true[i]).abs() / x_true[i];
+            assert!(rel < 1e-6, "component {i}: rel error {rel}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for the circuit simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// The nodal matrix is singular — typically a floating node or a loop of
+    /// ideal voltage sources.
+    SingularSystem {
+        /// Row/unknown index at which the factorization broke down.
+        at: usize,
+    },
+    /// The iterative linear solver did not reach the requested tolerance.
+    LinearNoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm when the solver gave up.
+        residual: f64,
+        /// Requested tolerance.
+        tolerance: f64,
+    },
+    /// The Newton-Raphson loop did not converge.
+    NewtonNoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Largest voltage update in the final iteration (volts).
+        last_update: f64,
+    },
+    /// A referenced node does not exist in the circuit.
+    UnknownNode {
+        /// The offending node id.
+        node: usize,
+    },
+    /// An element value is physically invalid (e.g. non-positive resistance).
+    InvalidElement {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Dimension mismatch between inputs and the circuit.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+        /// What quantity was being matched.
+        what: &'static str,
+    },
+    /// A netlist could not be parsed.
+    NetlistParse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::SingularSystem { at } => {
+                write!(f, "singular nodal system (pivot breakdown at unknown {at}); check for floating nodes")
+            }
+            CircuitError::LinearNoConvergence {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "linear solver stalled after {iterations} iterations (residual {residual:.3e} > tolerance {tolerance:.3e})"
+            ),
+            CircuitError::NewtonNoConvergence {
+                iterations,
+                last_update,
+            } => write!(
+                f,
+                "newton iteration did not converge after {iterations} steps (last voltage update {last_update:.3e} V)"
+            ),
+            CircuitError::UnknownNode { node } => write!(f, "unknown circuit node {node}"),
+            CircuitError::InvalidElement { reason } => write!(f, "invalid element: {reason}"),
+            CircuitError::DimensionMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(f, "{what}: expected {expected}, got {actual}"),
+            CircuitError::NetlistParse { line, reason } => {
+                write!(f, "netlist parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CircuitError::SingularSystem { at: 7 };
+        assert!(e.to_string().contains("unknown 7"));
+        let e = CircuitError::NetlistParse {
+            line: 3,
+            reason: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

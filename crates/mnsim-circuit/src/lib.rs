@@ -1,0 +1,63 @@
+//! # mnsim-circuit — SPICE-class DC circuit simulator
+//!
+//! This crate is the *circuit-level baseline* of the MNSIM reproduction: the
+//! role HSPICE plays in the original paper. It provides
+//!
+//! * [`sparse`] — CSR sparse matrices with triplet assembly,
+//! * [`dense`] — dense LU with partial pivoting,
+//! * [`cg`] — Jacobi-preconditioned conjugate gradients,
+//! * [`mna`] — circuit representation (resistors, sources, memristors),
+//! * [`solve`] — DC operating-point analysis with Newton-Raphson for
+//!   non-linear memristor cells,
+//! * [`crossbar`] — memristor-crossbar netlist construction matching the
+//!   paper's resistor-network model (cells + `2MN` wire segments + sensing
+//!   resistors),
+//! * [`transient`] — backward-Euler transient analysis (RC settling),
+//! * [`netlist`] — SPICE netlist export/import.
+//!
+//! The accuracy experiments of the paper (Fig. 5, Table II) compare the
+//! behavior-level model in `mnsim-core` against exactly these circuit
+//! solutions, and the speed-up experiment (Table III) times this solver
+//! against the behavior-level estimation.
+//!
+//! # Examples
+//!
+//! ```
+//! use mnsim_circuit::crossbar::CrossbarSpec;
+//! use mnsim_circuit::solve::{solve_dc, SolveOptions};
+//! use mnsim_tech::units::{Resistance, Voltage};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = CrossbarSpec::uniform(
+//!     8, 8,
+//!     Resistance::from_kilo_ohms(10.0), // cell state
+//!     Resistance::from_ohms(2.0),       // wire segment
+//!     Resistance::from_ohms(500.0),     // sense resistor
+//!     Voltage::from_volts(1.0),         // inputs
+//! );
+//! let xbar = spec.build()?;
+//! let solution = solve_dc(xbar.circuit(), &SolveOptions::default())?;
+//! let outputs = xbar.output_voltages(&solution);
+//! assert_eq!(outputs.len(), 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cg;
+pub mod crossbar;
+pub mod dense;
+pub mod error;
+pub mod mna;
+pub mod netlist;
+pub mod solve;
+pub mod sparse;
+pub mod transient;
+
+pub use crossbar::{CrossbarCircuit, CrossbarSpec};
+pub use error::CircuitError;
+pub use mna::{Circuit, DcSolution, Element, NodeId};
+pub use solve::{solve_dc, Method, SolveOptions};
+pub use transient::{solve_transient, TransientOptions, TransientResult};

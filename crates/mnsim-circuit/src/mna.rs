@@ -1,0 +1,442 @@
+//! Circuit representation for (modified) nodal analysis.
+//!
+//! A [`Circuit`] is a flat list of two-terminal elements between integer
+//! nodes. Node `0` ([`Circuit::GROUND`]) is the reference. Supported
+//! elements cover everything a memristor crossbar needs: resistors, ideal
+//! voltage sources, ideal current sources, and memristor cells carrying a
+//! programmed state resistance plus a (possibly non-linear) I-V model.
+//!
+//! Solving is performed by [`crate::solve::solve_dc`]; this module owns the
+//! topology and the solution container.
+
+use mnsim_tech::memristor::IvModel;
+use mnsim_tech::units::{Capacitance, Current, Power, Resistance, Voltage};
+
+use crate::error::CircuitError;
+
+/// Identifier of a circuit node. Node `0` is ground.
+pub type NodeId = usize;
+
+/// A two-terminal circuit element.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Element {
+    /// Ohmic resistor between `n1` and `n2`.
+    Resistor {
+        /// First terminal.
+        n1: NodeId,
+        /// Second terminal.
+        n2: NodeId,
+        /// Resistance value (must be positive).
+        resistance: Resistance,
+    },
+    /// Ideal voltage source driving `npos` relative to `nneg`.
+    VoltageSource {
+        /// Positive terminal.
+        npos: NodeId,
+        /// Negative terminal.
+        nneg: NodeId,
+        /// Source voltage.
+        voltage: Voltage,
+    },
+    /// Ideal current source pushing current from `from` into `to`.
+    CurrentSource {
+        /// Terminal the current leaves.
+        from: NodeId,
+        /// Terminal the current enters.
+        to: NodeId,
+        /// Source current.
+        current: Current,
+    },
+    /// A memristor cell with programmed state resistance and I-V model.
+    Memristor {
+        /// First terminal (word line side).
+        n1: NodeId,
+        /// Second terminal (bit line side).
+        n2: NodeId,
+        /// Programmed (low-field) state resistance.
+        state: Resistance,
+        /// Conduction model.
+        iv: IvModel,
+    },
+    /// A linear capacitor (open circuit in DC; integrated by
+    /// [`crate::transient::solve_transient`]).
+    Capacitor {
+        /// First terminal.
+        n1: NodeId,
+        /// Second terminal.
+        n2: NodeId,
+        /// Capacitance value (must be positive).
+        capacitance: Capacitance,
+    },
+}
+
+/// A DC circuit: a set of nodes and two-terminal elements.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_count: usize,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = 0;
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            node_count: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.node_count;
+        self.node_count += 1;
+        id
+    }
+
+    /// Allocates `n` fresh nodes, returning their ids in order.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Total number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The elements of the circuit, in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` if any element has a non-linear I-V characteristic.
+    pub fn is_nonlinear(&self) -> bool {
+        self.elements.iter().any(|e| {
+            matches!(
+                e,
+                Element::Memristor {
+                    iv: IvModel::Sinh { .. },
+                    ..
+                }
+            )
+        })
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), CircuitError> {
+        if node >= self.node_count {
+            Err(CircuitError::UnknownNode { node })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds a resistor; returns its element index.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes, self-loops, and non-positive resistances.
+    pub fn add_resistor(
+        &mut self,
+        n1: NodeId,
+        n2: NodeId,
+        resistance: Resistance,
+    ) -> Result<usize, CircuitError> {
+        self.check_node(n1)?;
+        self.check_node(n2)?;
+        if n1 == n2 {
+            return Err(CircuitError::InvalidElement {
+                reason: format!("resistor shorted onto node {n1}"),
+            });
+        }
+        if !(resistance.ohms() > 0.0) {
+            return Err(CircuitError::InvalidElement {
+                reason: format!("resistance must be positive, got {resistance}"),
+            });
+        }
+        self.elements.push(Element::Resistor {
+            n1,
+            n2,
+            resistance,
+        });
+        Ok(self.elements.len() - 1)
+    }
+
+    /// Adds an ideal voltage source; returns its element index.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and self-loops.
+    pub fn add_voltage_source(
+        &mut self,
+        npos: NodeId,
+        nneg: NodeId,
+        voltage: Voltage,
+    ) -> Result<usize, CircuitError> {
+        self.check_node(npos)?;
+        self.check_node(nneg)?;
+        if npos == nneg {
+            return Err(CircuitError::InvalidElement {
+                reason: "voltage source shorted onto one node".into(),
+            });
+        }
+        self.elements.push(Element::VoltageSource {
+            npos,
+            nneg,
+            voltage,
+        });
+        Ok(self.elements.len() - 1)
+    }
+
+    /// Adds an ideal current source; returns its element index.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes.
+    pub fn add_current_source(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        current: Current,
+    ) -> Result<usize, CircuitError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        self.elements.push(Element::CurrentSource { from, to, current });
+        Ok(self.elements.len() - 1)
+    }
+
+    /// Adds a memristor cell; returns its element index.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes, self-loops, and non-positive state resistances.
+    pub fn add_memristor(
+        &mut self,
+        n1: NodeId,
+        n2: NodeId,
+        state: Resistance,
+        iv: IvModel,
+    ) -> Result<usize, CircuitError> {
+        self.check_node(n1)?;
+        self.check_node(n2)?;
+        if n1 == n2 {
+            return Err(CircuitError::InvalidElement {
+                reason: format!("memristor shorted onto node {n1}"),
+            });
+        }
+        if !(state.ohms() > 0.0) {
+            return Err(CircuitError::InvalidElement {
+                reason: format!("memristor state resistance must be positive, got {state}"),
+            });
+        }
+        self.elements.push(Element::Memristor { n1, n2, state, iv });
+        Ok(self.elements.len() - 1)
+    }
+
+    /// Adds a capacitor; returns its element index.
+    ///
+    /// Capacitors are open circuits for [`crate::solve::solve_dc`] and are
+    /// integrated by [`crate::transient::solve_transient`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes, self-loops, and non-positive capacitances.
+    pub fn add_capacitor(
+        &mut self,
+        n1: NodeId,
+        n2: NodeId,
+        capacitance: Capacitance,
+    ) -> Result<usize, CircuitError> {
+        self.check_node(n1)?;
+        self.check_node(n2)?;
+        if n1 == n2 {
+            return Err(CircuitError::InvalidElement {
+                reason: format!("capacitor shorted onto node {n1}"),
+            });
+        }
+        if !(capacitance.farads() > 0.0) {
+            return Err(CircuitError::InvalidElement {
+                reason: format!("capacitance must be positive, got {capacitance}"),
+            });
+        }
+        self.elements.push(Element::Capacitor {
+            n1,
+            n2,
+            capacitance,
+        });
+        Ok(self.elements.len() - 1)
+    }
+
+    /// `true` if the circuit contains at least one capacitor (i.e. has
+    /// transient dynamics).
+    pub fn has_dynamics(&self) -> bool {
+        self.elements
+            .iter()
+            .any(|e| matches!(e, Element::Capacitor { .. }))
+    }
+}
+
+/// The result of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    node_voltages: Vec<f64>,
+    /// Branch current of each element, in element order, flowing n1 → n2
+    /// (for sources: npos → nneg internally, i.e. the current *delivered*
+    /// has opposite sign).
+    element_currents: Vec<f64>,
+}
+
+impl DcSolution {
+    pub(crate) fn new(node_voltages: Vec<f64>, element_currents: Vec<f64>) -> Self {
+        DcSolution {
+            node_voltages,
+            element_currents,
+        }
+    }
+
+    /// The voltage at `node` relative to ground.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist in the solved circuit.
+    pub fn voltage(&self, node: NodeId) -> Voltage {
+        Voltage::from_volts(self.node_voltages[node])
+    }
+
+    /// All node voltages (index = node id).
+    pub fn voltages(&self) -> &[f64] {
+        &self.node_voltages
+    }
+
+    /// Branch current through element `index`, measured from its first
+    /// terminal to its second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element index is out of range.
+    pub fn element_current(&self, index: usize) -> Current {
+        Current::from_amperes(self.element_currents[index])
+    }
+
+    /// Total power delivered by all sources (equals total dissipated power
+    /// in a resistive circuit).
+    pub fn source_power(&self, circuit: &Circuit) -> Power {
+        let mut total = 0.0;
+        for (idx, element) in circuit.elements().iter().enumerate() {
+            match element {
+                Element::VoltageSource { voltage, .. } => {
+                    // The stamped branch current flows npos → nneg inside
+                    // the source; delivered power = V × (−I_branch).
+                    total += voltage.volts() * -self.element_currents[idx];
+                }
+                Element::CurrentSource { from, to, current } => {
+                    let v = self.node_voltages[*to] - self.node_voltages[*from];
+                    total += v * current.amperes();
+                }
+                _ => {}
+            }
+        }
+        Power::from_watts(total)
+    }
+
+    /// Total power dissipated in resistive elements.
+    pub fn dissipated_power(&self, circuit: &Circuit) -> Power {
+        let mut total = 0.0;
+        for (idx, element) in circuit.elements().iter().enumerate() {
+            match element {
+                Element::Resistor { n1, n2, .. } | Element::Memristor { n1, n2, .. } => {
+                    let v = self.node_voltages[*n1] - self.node_voltages[*n2];
+                    total += v * self.element_currents[idx];
+                }
+                _ => {}
+            }
+        }
+        Power::from_watts(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_allocation() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node_count(), 1);
+        let a = c.add_node();
+        let b = c.add_node();
+        assert_eq!((a, b), (1, 2));
+        let more = c.add_nodes(3);
+        assert_eq!(more, vec![3, 4, 5]);
+        assert_eq!(c.node_count(), 6);
+    }
+
+    #[test]
+    fn element_validation() {
+        let mut c = Circuit::new();
+        let n = c.add_node();
+        assert!(c.add_resistor(n, 99, Resistance::from_ohms(1.0)).is_err());
+        assert!(c.add_resistor(n, n, Resistance::from_ohms(1.0)).is_err());
+        assert!(c
+            .add_resistor(n, Circuit::GROUND, Resistance::from_ohms(0.0))
+            .is_err());
+        assert!(c
+            .add_resistor(n, Circuit::GROUND, Resistance::from_ohms(-5.0))
+            .is_err());
+        assert!(c
+            .add_resistor(n, Circuit::GROUND, Resistance::from_ohms(10.0))
+            .is_ok());
+        assert_eq!(c.element_count(), 1);
+    }
+
+    #[test]
+    fn voltage_source_validation() {
+        let mut c = Circuit::new();
+        let n = c.add_node();
+        assert!(c
+            .add_voltage_source(n, n, Voltage::from_volts(1.0))
+            .is_err());
+        assert!(c
+            .add_voltage_source(n, Circuit::GROUND, Voltage::from_volts(1.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn memristor_validation_and_nonlinearity_flag() {
+        let mut c = Circuit::new();
+        let n = c.add_node();
+        assert!(!c.is_nonlinear());
+        c.add_memristor(
+            n,
+            Circuit::GROUND,
+            Resistance::from_kilo_ohms(10.0),
+            IvModel::Linear,
+        )
+        .unwrap();
+        assert!(!c.is_nonlinear());
+        c.add_memristor(
+            n,
+            Circuit::GROUND,
+            Resistance::from_kilo_ohms(10.0),
+            IvModel::Sinh { alpha: 2.0 },
+        )
+        .unwrap();
+        assert!(c.is_nonlinear());
+    }
+
+    #[test]
+    fn zero_state_memristor_rejected() {
+        let mut c = Circuit::new();
+        let n = c.add_node();
+        assert!(c
+            .add_memristor(n, Circuit::GROUND, Resistance::from_ohms(0.0), IvModel::Linear)
+            .is_err());
+    }
+}

@@ -1,0 +1,768 @@
+//! DC operating-point analysis.
+//!
+//! [`solve_dc`] computes the DC solution of a [`Circuit`]:
+//!
+//! 1. **Linear circuits** are solved in one shot. If every voltage source is
+//!    referenced to ground (true for every crossbar netlist), the nodal
+//!    matrix reduced over the driven nodes is symmetric positive-definite
+//!    and the large-system path uses Jacobi-preconditioned conjugate
+//!    gradients; small systems and circuits with floating sources use a
+//!    dense LU over the full modified-nodal-analysis system.
+//! 2. **Non-linear circuits** (memristors with a sinh I-V model) are solved
+//!    by Newton-Raphson: each memristor is replaced by its companion model
+//!    (differential conductance + equivalent current source) at the present
+//!    operating point and the linear solve is repeated until the node
+//!    voltages stop moving.
+
+use std::collections::HashMap;
+
+use mnsim_tech::memristor::IvModel;
+
+use crate::cg::{solve_cg, CgOptions};
+use crate::dense::DenseMatrix;
+use crate::error::CircuitError;
+use crate::mna::{Circuit, DcSolution, Element};
+use crate::sparse::TripletMatrix;
+
+/// Linear-solver selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Conjugate gradients for large grounded-source systems, dense LU
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Force the dense LU path (exact, `O(n³)`).
+    DenseLu,
+    /// Force conjugate gradients (requires grounded voltage sources).
+    Cg,
+}
+
+/// Options for [`solve_dc`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOptions {
+    /// Linear-solver selection.
+    pub method: Method,
+    /// Conjugate-gradient parameters.
+    pub cg: CgOptions,
+    /// Newton convergence threshold on the largest node-voltage update, in
+    /// volts.
+    pub newton_tolerance: f64,
+    /// Newton iteration cap.
+    pub newton_max_iterations: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            method: Method::Auto,
+            cg: CgOptions::default(),
+            newton_tolerance: 1e-9,
+            newton_max_iterations: 60,
+        }
+    }
+}
+
+/// Number of unknowns below which `Method::Auto` prefers the dense LU.
+const DENSE_CUTOFF: usize = 96;
+
+/// One linearized conductive branch: `I(n1→n2) = g·(v1 − v2) + i_eq`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Linearized {
+    pub(crate) g: f64,
+    pub(crate) ieq: f64,
+}
+
+/// Solves the DC operating point of `circuit`.
+///
+/// # Errors
+///
+/// Propagates solver failures ([`CircuitError::SingularSystem`],
+/// [`CircuitError::LinearNoConvergence`],
+/// [`CircuitError::NewtonNoConvergence`]) and topology errors (a node driven
+/// by two conflicting sources, CG requested for floating sources).
+pub fn solve_dc(circuit: &Circuit, options: &SolveOptions) -> Result<DcSolution, CircuitError> {
+    if circuit.is_nonlinear() {
+        solve_newton(circuit, options)
+    } else {
+        let lin = linearize(circuit, None);
+        let voltages = solve_linear(circuit, &lin, options)?;
+        finish(circuit, &lin, voltages)
+    }
+}
+
+/// Newton-Raphson outer loop for circuits with non-linear memristors.
+fn solve_newton(circuit: &Circuit, options: &SolveOptions) -> Result<DcSolution, CircuitError> {
+    // Initial operating point: every memristor at its low-field resistance.
+    let lin0 = linearize(circuit, None);
+    let mut voltages = solve_linear(circuit, &lin0, options)?;
+
+    for _ in 0..options.newton_max_iterations {
+        let lin = linearize(circuit, Some(&voltages));
+        let next = solve_linear(circuit, &lin, options)?;
+        let max_update = voltages
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        voltages = next;
+        if max_update < options.newton_tolerance {
+            let lin = linearize(circuit, Some(&voltages));
+            return finish(circuit, &lin, voltages);
+        }
+    }
+
+    Err(CircuitError::NewtonNoConvergence {
+        iterations: options.newton_max_iterations,
+        last_update: f64::NAN,
+    })
+}
+
+/// Produces the per-element linearization. `operating_point` supplies node
+/// voltages for the Newton companion models; `None` linearizes memristors at
+/// their low-field state.
+pub(crate) fn linearize(
+    circuit: &Circuit,
+    operating_point: Option<&[f64]>,
+) -> Vec<Option<Linearized>> {
+    circuit
+        .elements()
+        .iter()
+        .map(|element| match element {
+            Element::Resistor { resistance, .. } => Some(Linearized {
+                g: 1.0 / resistance.ohms(),
+                ieq: 0.0,
+            }),
+            Element::Memristor { n1, n2, state, iv } => match (iv, operating_point) {
+                (IvModel::Linear, _) | (_, None) => Some(Linearized {
+                    g: 1.0 / state.ohms(),
+                    ieq: 0.0,
+                }),
+                (IvModel::Sinh { .. }, Some(v)) => {
+                    let vd = v[*n1] - v[*n2];
+                    let bias = mnsim_tech::units::Voltage::from_volts(vd);
+                    let g_d = 1.0 / iv.differential_resistance(*state, bias).ohms();
+                    let i = iv.current(*state, bias).amperes();
+                    Some(Linearized {
+                        g: g_d,
+                        ieq: i - g_d * vd,
+                    })
+                }
+            },
+            Element::VoltageSource { .. } | Element::CurrentSource { .. } => None,
+            // Capacitors are open circuits at DC; the transient solver
+            // replaces them with backward-Euler companions.
+            Element::Capacitor { .. } => None,
+        })
+        .collect()
+}
+
+/// Classification of the voltage sources in a circuit.
+struct SourceInfo {
+    /// node → fixed voltage, for grounded sources.
+    driven: HashMap<usize, f64>,
+    /// `true` if every source has one terminal at ground.
+    all_grounded: bool,
+}
+
+fn classify_sources(circuit: &Circuit) -> Result<SourceInfo, CircuitError> {
+    let mut driven = HashMap::new();
+    let mut all_grounded = true;
+    for element in circuit.elements() {
+        if let Element::VoltageSource {
+            npos,
+            nneg,
+            voltage,
+        } = element
+        {
+            let (node, value) = if *nneg == Circuit::GROUND {
+                (*npos, voltage.volts())
+            } else if *npos == Circuit::GROUND {
+                (*nneg, -voltage.volts())
+            } else {
+                all_grounded = false;
+                continue;
+            };
+            if let Some(existing) = driven.insert(node, value) {
+                if existing != value {
+                    return Err(CircuitError::InvalidElement {
+                        reason: format!(
+                            "node {node} driven to both {existing} V and {value} V"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(SourceInfo {
+        driven,
+        all_grounded,
+    })
+}
+
+/// Solves the linearized circuit, returning the full node-voltage vector.
+pub(crate) fn solve_linear(
+    circuit: &Circuit,
+    lin: &[Option<Linearized>],
+    options: &SolveOptions,
+) -> Result<Vec<f64>, CircuitError> {
+    let sources = classify_sources(circuit)?;
+    let reduced_ok = sources.all_grounded;
+
+    match options.method {
+        Method::Cg => {
+            if !reduced_ok {
+                return Err(CircuitError::InvalidElement {
+                    reason: "conjugate-gradient path requires all voltage sources grounded"
+                        .into(),
+                });
+            }
+            solve_reduced(circuit, lin, &sources, options, false)
+        }
+        Method::DenseLu => {
+            if reduced_ok {
+                solve_reduced(circuit, lin, &sources, options, true)
+            } else {
+                solve_full_mna(circuit, lin)
+            }
+        }
+        Method::Auto => {
+            if reduced_ok {
+                let unknowns = circuit.node_count() - 1 - sources.driven.len();
+                solve_reduced(circuit, lin, &sources, options, unknowns < DENSE_CUTOFF)
+            } else {
+                solve_full_mna(circuit, lin)
+            }
+        }
+    }
+}
+
+/// Reduced nodal solve: unknowns are all nodes that are neither ground nor
+/// driven; the system is SPD.
+fn solve_reduced(
+    circuit: &Circuit,
+    lin: &[Option<Linearized>],
+    sources: &SourceInfo,
+    options: &SolveOptions,
+    use_dense: bool,
+) -> Result<Vec<f64>, CircuitError> {
+    let n_nodes = circuit.node_count();
+    // Map node → unknown index.
+    let mut index = vec![usize::MAX; n_nodes];
+    let mut unknowns = 0usize;
+    for node in 1..n_nodes {
+        if !sources.driven.contains_key(&node) {
+            index[node] = unknowns;
+            unknowns += 1;
+        }
+    }
+
+    let fixed_voltage = |node: usize| -> Option<f64> {
+        if node == Circuit::GROUND {
+            Some(0.0)
+        } else {
+            sources.driven.get(&node).copied()
+        }
+    };
+
+    let mut triplets = TripletMatrix::new(unknowns, unknowns);
+    let mut b = vec![0.0; unknowns];
+
+    for (idx, element) in circuit.elements().iter().enumerate() {
+        match element {
+            Element::Resistor { n1, n2, .. }
+            | Element::Memristor { n1, n2, .. }
+            | Element::Capacitor { n1, n2, .. } => {
+                // Capacitors only carry a companion in transient mode.
+                let Some(Linearized { g, ieq }) = lin[idx] else {
+                    continue;
+                };
+                stamp_conductance(
+                    &mut triplets,
+                    &mut b,
+                    &index,
+                    &fixed_voltage,
+                    *n1,
+                    *n2,
+                    g,
+                    ieq,
+                );
+            }
+            Element::CurrentSource { from, to, current } => {
+                let i = current.amperes();
+                if index[*from] != usize::MAX {
+                    b[index[*from]] -= i;
+                }
+                if index[*to] != usize::MAX {
+                    b[index[*to]] += i;
+                }
+            }
+            Element::VoltageSource { .. } => {} // encoded via `driven`
+        }
+    }
+
+    let x = if unknowns == 0 {
+        Vec::new()
+    } else if use_dense {
+        let csr = triplets.to_csr();
+        DenseMatrix::from_rows(&csr.to_dense()).solve(&b)?
+    } else {
+        let csr = triplets.to_csr();
+        solve_cg(&csr, &b, &options.cg)?.0
+    };
+
+    // Reassemble the full voltage vector.
+    let mut voltages = vec![0.0; n_nodes];
+    for node in 1..n_nodes {
+        voltages[node] = if let Some(v) = fixed_voltage(node) {
+            v
+        } else {
+            x[index[node]]
+        };
+    }
+    Ok(voltages)
+}
+
+/// Stamps one conductive branch with equivalent current into the reduced
+/// system.
+#[allow(clippy::too_many_arguments)]
+fn stamp_conductance(
+    triplets: &mut TripletMatrix,
+    b: &mut [f64],
+    index: &[usize],
+    fixed_voltage: &dyn Fn(usize) -> Option<f64>,
+    n1: usize,
+    n2: usize,
+    g: f64,
+    ieq: f64,
+) {
+    let i1 = index[n1];
+    let i2 = index[n2];
+    // KCL at n1: +g(v1 − v2) + ieq ; at n2: −g(v1 − v2) − ieq.
+    if i1 != usize::MAX {
+        triplets.add(i1, i1, g);
+        match fixed_voltage(n2) {
+            Some(v2) => b[i1] += g * v2,
+            None => triplets.add(i1, i2, -g),
+        }
+        b[i1] -= ieq;
+    }
+    if i2 != usize::MAX {
+        triplets.add(i2, i2, g);
+        match fixed_voltage(n1) {
+            Some(v1) => b[i2] += g * v1,
+            None => triplets.add(i2, i1, -g),
+        }
+        b[i2] += ieq;
+    }
+}
+
+/// Full modified nodal analysis with explicit source branch currents
+/// (handles floating sources; dense LU).
+fn solve_full_mna(
+    circuit: &Circuit,
+    lin: &[Option<Linearized>],
+) -> Result<Vec<f64>, CircuitError> {
+    let n_nodes = circuit.node_count();
+    let n_v = n_nodes - 1; // unknown node voltages (ground excluded)
+    let sources: Vec<usize> = circuit
+        .elements()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, Element::VoltageSource { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let n = n_v + sources.len();
+    let mut a = DenseMatrix::zeros(n);
+    let mut b = vec![0.0; n];
+
+    // node id → matrix row (ground has none).
+    let row = |node: usize| -> Option<usize> {
+        if node == Circuit::GROUND {
+            None
+        } else {
+            Some(node - 1)
+        }
+    };
+
+    for (idx, element) in circuit.elements().iter().enumerate() {
+        match element {
+            Element::Resistor { n1, n2, .. }
+            | Element::Memristor { n1, n2, .. }
+            | Element::Capacitor { n1, n2, .. } => {
+                let Some(Linearized { g, ieq }) = lin[idx] else {
+                    continue;
+                };
+                if let Some(r1) = row(*n1) {
+                    a[(r1, r1)] += g;
+                    if let Some(r2) = row(*n2) {
+                        a[(r1, r2)] -= g;
+                    }
+                    b[r1] -= ieq;
+                }
+                if let Some(r2) = row(*n2) {
+                    a[(r2, r2)] += g;
+                    if let Some(r1) = row(*n1) {
+                        a[(r2, r1)] -= g;
+                    }
+                    b[r2] += ieq;
+                }
+            }
+            Element::CurrentSource { from, to, current } => {
+                if let Some(r) = row(*from) {
+                    b[r] -= current.amperes();
+                }
+                if let Some(r) = row(*to) {
+                    b[r] += current.amperes();
+                }
+            }
+            Element::VoltageSource { .. } => {}
+        }
+    }
+
+    for (k, &src_idx) in sources.iter().enumerate() {
+        if let Element::VoltageSource {
+            npos,
+            nneg,
+            voltage,
+        } = &circuit.elements()[src_idx]
+        {
+            let col = n_v + k;
+            if let Some(r) = row(*npos) {
+                a[(r, col)] += 1.0;
+                a[(col, r)] += 1.0;
+            }
+            if let Some(r) = row(*nneg) {
+                a[(r, col)] -= 1.0;
+                a[(col, r)] -= 1.0;
+            }
+            b[col] = voltage.volts();
+        }
+    }
+
+    let x = a.solve(&b)?;
+    let mut voltages = vec![0.0; n_nodes];
+    voltages[1..n_nodes].copy_from_slice(&x[..n_v]);
+    Ok(voltages)
+}
+
+/// Computes per-element branch currents and wraps the solution.
+pub(crate) fn finish(
+    circuit: &Circuit,
+    lin: &[Option<Linearized>],
+    voltages: Vec<f64>,
+) -> Result<DcSolution, CircuitError> {
+    let mut currents = vec![0.0; circuit.element_count()];
+
+    for (idx, element) in circuit.elements().iter().enumerate() {
+        match element {
+            Element::Resistor { n1, n2, .. }
+            | Element::Memristor { n1, n2, .. }
+            | Element::Capacitor { n1, n2, .. } => {
+                // Capacitors carry zero current at DC (no companion).
+                if let Some(Linearized { g, ieq }) = lin[idx] {
+                    currents[idx] = g * (voltages[*n1] - voltages[*n2]) + ieq;
+                }
+            }
+            Element::CurrentSource { current, .. } => {
+                currents[idx] = current.amperes();
+            }
+            Element::VoltageSource { .. } => {} // second pass below
+        }
+    }
+
+    // Voltage-source branch currents by KCL at the positive terminal:
+    // i_branch (npos → nneg internal) = −(current delivered into the node).
+    for (idx, element) in circuit.elements().iter().enumerate() {
+        if let Element::VoltageSource { npos, nneg, .. } = element {
+            let node = if *npos != Circuit::GROUND { *npos } else { *nneg };
+            let sign = if *npos != Circuit::GROUND { 1.0 } else { -1.0 };
+            let mut leaving = 0.0;
+            for (jdx, other) in circuit.elements().iter().enumerate() {
+                if jdx == idx {
+                    continue;
+                }
+                match other {
+                    Element::Resistor { n1, n2, .. }
+                    | Element::Memristor { n1, n2, .. }
+                    | Element::Capacitor { n1, n2, .. } => {
+                        if *n1 == node {
+                            leaving += currents[jdx];
+                        } else if *n2 == node {
+                            leaving -= currents[jdx];
+                        }
+                    }
+                    Element::CurrentSource { from, to, .. } => {
+                        if *from == node {
+                            leaving += currents[jdx];
+                        } else if *to == node {
+                            leaving -= currents[jdx];
+                        }
+                    }
+                    Element::VoltageSource { .. } => {
+                        // Series ideal sources on a non-ground node would
+                        // need the full-MNA current; grounded crossbar
+                        // netlists never hit this.
+                    }
+                }
+            }
+            currents[idx] = sign * -leaving;
+        }
+    }
+
+    Ok(DcSolution::new(voltages, currents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnsim_tech::units::{Current, Resistance, Voltage};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let top = c.add_node();
+        let mid = c.add_node();
+        c.add_voltage_source(top, Circuit::GROUND, Voltage::from_volts(10.0))
+            .unwrap();
+        c.add_resistor(top, mid, Resistance::from_kilo_ohms(1.0))
+            .unwrap();
+        c.add_resistor(mid, Circuit::GROUND, Resistance::from_kilo_ohms(3.0))
+            .unwrap();
+        let sol = solve_dc(&c, &SolveOptions::default()).unwrap();
+        assert_close(sol.voltage(mid).volts(), 7.5, 1e-9);
+    }
+
+    #[test]
+    fn divider_matches_on_all_methods() {
+        let mut c = Circuit::new();
+        let top = c.add_node();
+        let mid = c.add_node();
+        c.add_voltage_source(top, Circuit::GROUND, Voltage::from_volts(1.0))
+            .unwrap();
+        c.add_resistor(top, mid, Resistance::from_ohms(100.0))
+            .unwrap();
+        c.add_resistor(mid, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .unwrap();
+        for method in [Method::Auto, Method::DenseLu, Method::Cg] {
+            let options = SolveOptions {
+                method,
+                ..SolveOptions::default()
+            };
+            let sol = solve_dc(&c, &options).unwrap();
+            assert_close(sol.voltage(mid).volts(), 0.5, 1e-8);
+        }
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let mut c = Circuit::new();
+        let n = c.add_node();
+        c.add_current_source(Circuit::GROUND, n, Current::from_amperes(2e-3))
+            .unwrap();
+        c.add_resistor(n, Circuit::GROUND, Resistance::from_kilo_ohms(1.0))
+            .unwrap();
+        let sol = solve_dc(&c, &SolveOptions::default()).unwrap();
+        assert_close(sol.voltage(n).volts(), 2.0, 1e-9);
+    }
+
+    #[test]
+    fn wheatstone_bridge_balance() {
+        // Balanced bridge: zero volts across the detector resistor.
+        let mut c = Circuit::new();
+        let top = c.add_node();
+        let left = c.add_node();
+        let right = c.add_node();
+        c.add_voltage_source(top, Circuit::GROUND, Voltage::from_volts(5.0))
+            .unwrap();
+        let r = Resistance::from_kilo_ohms(1.0);
+        c.add_resistor(top, left, r).unwrap();
+        c.add_resistor(top, right, r).unwrap();
+        c.add_resistor(left, Circuit::GROUND, r).unwrap();
+        c.add_resistor(right, Circuit::GROUND, r).unwrap();
+        c.add_resistor(left, right, Resistance::from_ohms(123.0))
+            .unwrap();
+        let sol = solve_dc(&c, &SolveOptions::default()).unwrap();
+        assert_close(
+            sol.voltage(left).volts() - sol.voltage(right).volts(),
+            0.0,
+            1e-9,
+        );
+    }
+
+    #[test]
+    fn source_power_equals_dissipated_power() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(3.0))
+            .unwrap();
+        c.add_resistor(a, b, Resistance::from_ohms(150.0)).unwrap();
+        c.add_resistor(b, Circuit::GROUND, Resistance::from_ohms(150.0))
+            .unwrap();
+        c.add_resistor(a, Circuit::GROUND, Resistance::from_ohms(300.0))
+            .unwrap();
+        let sol = solve_dc(&c, &SolveOptions::default()).unwrap();
+        assert_close(
+            sol.source_power(&c).watts(),
+            sol.dissipated_power(&c).watts(),
+            1e-12,
+        );
+        // P = V²/Req, Req = 300 ∥ 300 = 150 → P = 9/150 = 60 mW
+        assert_close(sol.source_power(&c).watts(), 0.06, 1e-9);
+    }
+
+    #[test]
+    fn floating_source_uses_full_mna() {
+        // Source floating between two nodes, each tied to ground by R.
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_resistor(a, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .unwrap();
+        c.add_resistor(b, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .unwrap();
+        c.add_voltage_source(a, b, Voltage::from_volts(2.0)).unwrap();
+        let sol = solve_dc(&c, &SolveOptions::default()).unwrap();
+        assert_close(sol.voltage(a).volts() - sol.voltage(b).volts(), 2.0, 1e-9);
+        // Symmetry: va = +1, vb = −1.
+        assert_close(sol.voltage(a).volts(), 1.0, 1e-9);
+        assert_close(sol.voltage(b).volts(), -1.0, 1e-9);
+    }
+
+    #[test]
+    fn cg_rejects_floating_sources() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_resistor(a, Circuit::GROUND, Resistance::from_ohms(1.0))
+            .unwrap();
+        c.add_resistor(b, Circuit::GROUND, Resistance::from_ohms(1.0))
+            .unwrap();
+        c.add_voltage_source(a, b, Voltage::from_volts(1.0)).unwrap();
+        let options = SolveOptions {
+            method: Method::Cg,
+            ..SolveOptions::default()
+        };
+        assert!(solve_dc(&c, &options).is_err());
+    }
+
+    #[test]
+    fn conflicting_drivers_rejected() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(1.0))
+            .unwrap();
+        c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(2.0))
+            .unwrap();
+        c.add_resistor(a, Circuit::GROUND, Resistance::from_ohms(1.0))
+            .unwrap();
+        assert!(matches!(
+            solve_dc(&c, &SolveOptions::default()),
+            Err(CircuitError::InvalidElement { .. })
+        ));
+    }
+
+    #[test]
+    fn nonlinear_memristor_draws_more_current() {
+        // sinh model conducts more at bias than the linear state resistance.
+        let build = |iv: IvModel| {
+            let mut c = Circuit::new();
+            let a = c.add_node();
+            c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(1.0))
+                .unwrap();
+            let m = c
+                .add_memristor(a, Circuit::GROUND, Resistance::from_kilo_ohms(10.0), iv)
+                .unwrap();
+            (c, m)
+        };
+        let (lin_c, lin_m) = build(IvModel::Linear);
+        let (non_c, non_m) = build(IvModel::Sinh { alpha: 2.0 });
+        let lin_sol = solve_dc(&lin_c, &SolveOptions::default()).unwrap();
+        let non_sol = solve_dc(&non_c, &SolveOptions::default()).unwrap();
+        let i_lin = lin_sol.element_current(lin_m).amperes();
+        let i_non = non_sol.element_current(non_m).amperes();
+        assert!(i_non > i_lin, "{i_non} vs {i_lin}");
+        // Analytic check: I = sinh(2·1)/(2·10k)
+        assert_close(i_non, (2.0f64).sinh() / 2.0e4, 1e-9);
+    }
+
+    #[test]
+    fn newton_converges_on_divider_with_memristor() {
+        // Series resistor + nonlinear memristor: solve and verify KCL.
+        let mut c = Circuit::new();
+        let top = c.add_node();
+        let mid = c.add_node();
+        c.add_voltage_source(top, Circuit::GROUND, Voltage::from_volts(1.0))
+            .unwrap();
+        let r = c
+            .add_resistor(top, mid, Resistance::from_kilo_ohms(5.0))
+            .unwrap();
+        let m = c
+            .add_memristor(
+                mid,
+                Circuit::GROUND,
+                Resistance::from_kilo_ohms(10.0),
+                IvModel::Sinh { alpha: 3.0 },
+            )
+            .unwrap();
+        let sol = solve_dc(&c, &SolveOptions::default()).unwrap();
+        let i_r = sol.element_current(r).amperes();
+        let i_m = sol.element_current(m).amperes();
+        assert_close(i_r, i_m, 1e-12);
+        // The memristor's extra conduction pulls mid below the linear 2/3 V.
+        assert!(sol.voltage(mid).volts() < 2.0 / 3.0);
+        assert!(sol.voltage(mid).volts() > 0.0);
+    }
+
+    #[test]
+    fn newton_iteration_budget() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(1.0))
+            .unwrap();
+        c.add_memristor(
+            a,
+            Circuit::GROUND,
+            Resistance::from_kilo_ohms(1.0),
+            IvModel::Sinh { alpha: 2.0 },
+        )
+        .unwrap();
+        let options = SolveOptions {
+            newton_max_iterations: 0,
+            ..SolveOptions::default()
+        };
+        assert!(matches!(
+            solve_dc(&c, &options),
+            Err(CircuitError::NewtonNoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn superposition_on_linear_network() {
+        // v(both sources) == v(source1) + v(source2) for a linear circuit.
+        let build = |v1: f64, v2: f64| {
+            let mut c = Circuit::new();
+            let a = c.add_node();
+            let b = c.add_node();
+            let mid = c.add_node();
+            c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(v1))
+                .unwrap();
+            c.add_voltage_source(b, Circuit::GROUND, Voltage::from_volts(v2))
+                .unwrap();
+            c.add_resistor(a, mid, Resistance::from_ohms(100.0)).unwrap();
+            c.add_resistor(b, mid, Resistance::from_ohms(220.0)).unwrap();
+            c.add_resistor(mid, Circuit::GROUND, Resistance::from_ohms(330.0))
+                .unwrap();
+            let sol = solve_dc(&c, &SolveOptions::default()).unwrap();
+            sol.voltage(mid).volts()
+        };
+        let both = build(1.0, 2.0);
+        let only1 = build(1.0, 0.0);
+        let only2 = build(0.0, 2.0);
+        assert_close(both, only1 + only2, 1e-9);
+    }
+}

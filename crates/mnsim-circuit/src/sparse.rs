@@ -1,0 +1,321 @@
+//! Compressed-sparse-row matrices.
+//!
+//! The conductance matrices of crossbar resistor networks are extremely
+//! sparse (≈5 non-zeros per row regardless of size), so the circuit solver
+//! assembles them in triplet (COO) form and converts once to CSR for fast
+//! matrix-vector products inside the conjugate-gradient loop.
+
+use std::fmt;
+
+/// A sparse matrix builder collecting `(row, col, value)` triplets.
+///
+/// Duplicate coordinates are *summed* on conversion, which is exactly the
+/// semantics needed for stamping circuit elements into a nodal matrix.
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty `rows × cols` builder.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`; repeated coordinates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row},{col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-deduplication) triplets collected so far.
+    pub fn triplet_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Converts to CSR, summing duplicate coordinates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+
+        let mut i = 0;
+        while i < sorted.len() {
+            let (r, c, mut v) = sorted[i];
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j].0 == r && sorted[j].1 == c {
+                v += sorted[j].2;
+                j += 1;
+            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] += 1;
+            i = j;
+        }
+
+        // Prefix-sum the per-row counts into offsets.
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// An immutable compressed-sparse-row matrix.
+#[derive(Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored value at `(row, col)`, or 0.0 if structurally zero.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        match self.col_idx[start..end].binary_search(&col) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The diagonal entries as a vector (0.0 where structurally absent).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Dense `y = A·x` product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x length mismatch");
+        assert_eq!(y.len(), self.rows, "y length mismatch");
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *yr = acc;
+        }
+    }
+
+    /// Allocating variant of [`Self::mul_vec_into`].
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Returns `true` if the matrix is exactly symmetric in its stored
+    /// pattern and values (within `tol` relative tolerance).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k];
+                let v = self.values[k];
+                let vt = self.get(c, r);
+                let scale = v.abs().max(vt.abs()).max(1e-300);
+                if (v - vt).abs() / scale > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Converts to a dense row-major matrix (testing / small-system LU).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut dense = vec![vec![0.0; self.cols]; self.rows];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                dense[r][self.col_idx[k]] = self.values[k];
+            }
+        }
+        dense
+    }
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix {{ {}x{}, nnz: {} }}",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [2 -1  0]
+        // [-1 2 -1]
+        // [0 -1  2]
+        let mut t = TripletMatrix::new(3, 3);
+        t.add(0, 0, 2.0);
+        t.add(0, 1, -1.0);
+        t.add(1, 0, -1.0);
+        t.add(1, 1, 2.0);
+        t.add(1, 2, -1.0);
+        t.add(2, 1, -1.0);
+        t.add(2, 2, 2.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn basic_assembly_and_get() {
+        let m = small();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(2, 1), -1.0);
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 1.0);
+        t.add(0, 0, 2.5);
+        t.add(1, 1, 1.0);
+        t.add(0, 1, -1.0);
+        t.add(0, 1, -1.0);
+        let m = t.to_csr();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.get(0, 1), -2.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn zero_values_are_dropped() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 0, 0.0);
+        t.add(1, 1, 5.0);
+        assert_eq!(t.triplet_count(), 1);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(2, 0, 1.0);
+    }
+
+    #[test]
+    fn mat_vec_product() {
+        let m = small();
+        let y = m.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length mismatch")]
+    fn mat_vec_dimension_check() {
+        let m = small();
+        let _ = m.mul_vec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let m = small();
+        assert_eq!(m.diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let m = small();
+        assert!(m.is_symmetric(1e-12));
+
+        let mut t = TripletMatrix::new(2, 2);
+        t.add(0, 1, 1.0);
+        t.add(1, 0, 2.0);
+        assert!(!t.to_csr().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = small();
+        let d = m.to_dense();
+        assert_eq!(d[1], vec![-1.0, 2.0, -1.0]);
+        assert_eq!(d[0][2], 0.0);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut t = TripletMatrix::new(4, 4);
+        t.add(0, 0, 1.0);
+        t.add(3, 3, 1.0);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 2);
+        let y = m.mul_vec(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,280 @@
+//! The analog computing-error model of a memristor crossbar
+//! (paper §VI.A–C, Eqs. 9–11, and §VI.D Eq. 16 for device variation).
+//!
+//! Three approximations turn the Kirchhoff system into a closed form:
+//!
+//! 1. **Decoupled non-linearity** (§VI.A): solve the linear operating point
+//!    first (`R_idl`), then evaluate the cell's chord resistance `R_act` at
+//!    the resulting bias.
+//! 2. **Resistance-only wires** (§VI.B): the crossbar becomes memristors +
+//!    wire segments `r` + sensing resistors `R_s`.
+//! 3. **Worst/average case** (§VI.C): all cells at `R_min` (worst) or at
+//!    the harmonic-mean resistance (average); the worst column is the one
+//!    farthest from the drivers.
+//!
+//! **Wire-term refinement.** The paper's Eq. (10) lumps the wire effect as
+//! `(M+N)·r` and then *fits* the resulting curve to SPICE (Fig. 5). Our
+//! circuit substrate shows the error accumulating quadratically (each
+//! word-line segment carries the currents of all downstream cells), so the
+//! default wire term is `r·(M² + N²)/2` — the Elmore-style accumulation —
+//! scaled by a fit coefficient exactly as the paper scales its linear term.
+//! [`AccuracyModel::wire_coefficient`] is that coefficient;
+//! [`crate::accuracy::fit`] reproduces the paper's fitting flow against the
+//! circuit simulator.
+
+use mnsim_tech::interconnect::InterconnectNode;
+use mnsim_tech::memristor::MemristorModel;
+use mnsim_tech::units::{Resistance, Voltage};
+
+use crate::config::Config;
+
+/// Worst-case vs average-case estimation (paper §VI.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Case {
+    /// All cells at `R_min`, farthest column, adversarial variation sign.
+    Worst,
+    /// Cells at the harmonic-mean resistance, middle column.
+    Average,
+}
+
+/// The closed-form crossbar accuracy model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyModel {
+    /// Column sensing resistance `R_s`.
+    pub sense_resistance: Resistance,
+    /// Fit coefficient scaling the wire term (the paper's Fig.-5 fit).
+    pub wire_coefficient: f64,
+    /// Fit coefficient scaling the non-linear resistance shift
+    /// `R_act − R_idl` (compensates the single-operating-point
+    /// approximation: cells along a real column sit at different biases).
+    pub nonlinearity_coefficient: f64,
+    /// Use the quadratic (Elmore-accumulation) wire term instead of the
+    /// paper's linear `(M+N)·r` form.
+    pub quadratic_wire: bool,
+}
+
+impl AccuracyModel {
+    /// The reference model: quadratic wire term, unit coefficients.
+    pub fn new(sense_resistance: Resistance) -> Self {
+        AccuracyModel {
+            sense_resistance,
+            wire_coefficient: 1.0,
+            nonlinearity_coefficient: 1.0,
+            quadratic_wire: true,
+        }
+    }
+
+    /// The paper's literal linear form (Eq. 10), for comparison/ablation.
+    pub fn paper_linear(sense_resistance: Resistance) -> Self {
+        AccuracyModel {
+            sense_resistance,
+            wire_coefficient: 1.0,
+            nonlinearity_coefficient: 1.0,
+            quadratic_wire: false,
+        }
+    }
+
+    /// Builds the platform's reference model from a configuration.
+    ///
+    /// The reference model uses the paper's linear wire term (Eq. 10) —
+    /// the equation the published trade-off studies are computed with. The
+    /// circuit-calibrated quadratic variant ([`AccuracyModel::new`] +
+    /// [`crate::accuracy::fit`]) is available for quantitative matching of
+    /// full circuit solutions.
+    pub fn from_config(config: &Config) -> Self {
+        AccuracyModel::paper_linear(config.sense_resistance)
+    }
+
+    /// Effective wire resistance added to the evaluated column's path.
+    fn wire_term(&self, rows: usize, cols: usize, segment: Resistance, case: Case) -> f64 {
+        let (m, n) = (rows as f64, cols as f64);
+        let geometric = if self.quadratic_wire {
+            (m * m + n * n) / 2.0
+        } else {
+            m + n
+        };
+        let column_position = match case {
+            Case::Worst => 1.0,   // farthest column
+            Case::Average => 0.5, // middle column
+        };
+        self.wire_coefficient * segment.ohms() * geometric * column_position
+    }
+
+    /// Signed output-voltage error rate `(V_idl − V_act) / V_idl` of an
+    /// `rows × cols` crossbar with wire-segment resistance from
+    /// `interconnect` (paper Eq. 11 with the refinements above).
+    ///
+    /// Positive values mean the output is *lower* than ideal (wire loss);
+    /// negative values mean it is *higher* (non-linear extra conduction).
+    pub fn signed_error_rate(
+        &self,
+        rows: usize,
+        cols: usize,
+        interconnect: InterconnectNode,
+        device: &MemristorModel,
+        case: Case,
+    ) -> f64 {
+        let r_state = match case {
+            Case::Worst => device.r_min,
+            Case::Average => device.harmonic_mean_resistance(),
+        };
+        let rs_m = self.sense_resistance.ohms() * rows as f64;
+        let r_idl = r_state.ohms();
+
+        // Ideal operating point (linear cells, no wires): Eq. 9.
+        let v_in = device.v_read;
+        let v_out_idl = v_in.volts() * rs_m / (r_idl + rs_m);
+
+        // Cell bias at the operating point, then the chord resistance
+        // (§VI.A second step).
+        let bias = Voltage::from_volts(v_in.volts() - v_out_idl);
+        let r_act_nominal = device.iv.chord_resistance(r_state, bias).ohms();
+
+        let wire = self.wire_term(rows, cols, interconnect.segment_resistance(), case);
+
+        let epsilon = |r_act: f64| -> f64 {
+            // ε = (R_act + W − R_idl) / (R_act + W + Rs·M)   [Eq. 11 / V_idl]
+            // with the non-linear shift scaled by its fit coefficient.
+            let r_eff = r_idl + self.nonlinearity_coefficient * (r_act - r_idl);
+            (r_eff + wire - r_idl) / (r_eff + wire + rs_m)
+        };
+
+        if device.sigma > 0.0 && case == Case::Worst {
+            // Eq. 16: the adversarial variation sign.
+            let plus = epsilon(r_act_nominal * (1.0 + device.sigma));
+            let minus = epsilon(r_act_nominal * (1.0 - device.sigma));
+            if plus.abs() >= minus.abs() {
+                plus
+            } else {
+                minus
+            }
+        } else {
+            epsilon(r_act_nominal)
+        }
+    }
+
+    /// Magnitude of the output-voltage error rate (the `ε` fed into the
+    /// read-deviation model, Eqs. 12–14).
+    pub fn error_rate(
+        &self,
+        rows: usize,
+        cols: usize,
+        interconnect: InterconnectNode,
+        device: &MemristorModel,
+        case: Case,
+    ) -> f64 {
+        self.signed_error_rate(rows, cols, interconnect, device, case)
+            .abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AccuracyModel {
+        AccuracyModel::new(Resistance::from_ohms(20.0))
+    }
+
+    fn device() -> MemristorModel {
+        MemristorModel::rram_default()
+    }
+
+    #[test]
+    fn error_rate_in_unit_interval() {
+        let m = model();
+        let d = device();
+        for size in [8, 16, 32, 64, 128, 256] {
+            for case in [Case::Worst, Case::Average] {
+                let e = m.error_rate(size, size, InterconnectNode::N28, &d, case);
+                assert!((0.0..1.0).contains(&e), "size {size}: ε = {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_bounds_average_case() {
+        let m = model();
+        let d = device();
+        for size in [32, 64, 128, 256] {
+            let worst = m.error_rate(size, size, InterconnectNode::N28, &d, Case::Worst);
+            let avg = m.error_rate(size, size, InterconnectNode::N28, &d, Case::Average);
+            assert!(worst >= avg, "size {size}: worst {worst} < avg {avg}");
+        }
+    }
+
+    #[test]
+    fn smaller_wires_are_worse() {
+        // The Fig.-5 trend: smaller interconnect nodes → higher error.
+        let m = model();
+        let d = device();
+        let coarse = m.error_rate(128, 128, InterconnectNode::N90, &d, Case::Worst);
+        let fine = m.error_rate(128, 128, InterconnectNode::N18, &d, Case::Worst);
+        assert!(fine > coarse);
+    }
+
+    #[test]
+    fn error_grows_with_size_in_wire_dominated_regime() {
+        let m = model();
+        let d = device();
+        let e64 = m.error_rate(64, 64, InterconnectNode::N28, &d, Case::Worst);
+        let e256 = m.error_rate(256, 256, InterconnectNode::N28, &d, Case::Worst);
+        assert!(e256 > e64);
+    }
+
+    #[test]
+    fn nonlinearity_gives_negative_error_for_tiny_arrays() {
+        // With negligible wire, the sinh cell conducts extra → output above
+        // ideal → negative signed error.
+        let m = model();
+        let mut d = device();
+        d.iv = mnsim_tech::memristor::IvModel::Sinh { alpha: 3.0 };
+        let signed = m.signed_error_rate(4, 4, InterconnectNode::N90, &d, Case::Worst);
+        assert!(signed < 0.0, "got {signed}");
+    }
+
+    #[test]
+    fn linear_cells_have_zero_error_without_wires() {
+        let m = AccuracyModel {
+            sense_resistance: Resistance::from_ohms(20.0),
+            wire_coefficient: 0.0, // disable wires entirely
+            nonlinearity_coefficient: 1.0,
+            quadratic_wire: true,
+        };
+        let mut d = device();
+        d.iv = mnsim_tech::memristor::IvModel::Linear;
+        let e = m.error_rate(128, 128, InterconnectNode::N28, &d, Case::Worst);
+        assert!(e.abs() < 1e-12);
+    }
+
+    #[test]
+    fn variation_worsens_worst_case() {
+        let m = model();
+        let mut d = device();
+        let base = m.error_rate(128, 128, InterconnectNode::N28, &d, Case::Worst);
+        d.sigma = 0.3;
+        let varied = m.error_rate(128, 128, InterconnectNode::N28, &d, Case::Worst);
+        assert!(varied >= base);
+    }
+
+    #[test]
+    fn quadratic_wire_exceeds_linear_form_at_scale() {
+        let quad = model();
+        let lin = AccuracyModel::paper_linear(Resistance::from_ohms(20.0));
+        let d = device();
+        let eq = quad.error_rate(256, 256, InterconnectNode::N28, &d, Case::Worst);
+        let el = lin.error_rate(256, 256, InterconnectNode::N28, &d, Case::Worst);
+        assert!(eq > el);
+    }
+
+    #[test]
+    fn wire_coefficient_scales_error_monotonically() {
+        let d = device();
+        let mut m = model();
+        m.wire_coefficient = 0.5;
+        let half = m.error_rate(128, 128, InterconnectNode::N28, &d, Case::Worst);
+        m.wire_coefficient = 2.0;
+        let double = m.error_rate(128, 128, InterconnectNode::N28, &d, Case::Worst);
+        assert!(double > half);
+    }
+}

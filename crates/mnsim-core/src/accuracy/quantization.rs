@@ -1,0 +1,133 @@
+//! Read-deviation model: from analog voltage error to digital levels
+//! (paper §VI.C, Eqs. 12–14).
+//!
+//! The read circuits quantize the analog matrix-vector result into `k`
+//! levels with boundaries at `{0.5, 1.5, …, k−1.5} × V_interval`. A
+//! relative voltage deviation `ε` moves a value across boundaries; the
+//! model gives the worst-case and average digital deviations.
+
+/// Maximum digital deviation in levels (paper Eq. 12):
+/// `⌊(k − 1.5)·ε + 0.5⌋`, clamped to `k − 1` (a read value can never be
+/// more than full scale away from the ideal).
+///
+/// The paper's example: `k = 64`, `ε = 10 %` → 6 levels (63 read as 57).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `ε` is negative.
+pub fn max_digital_deviation(k: u32, epsilon: f64) -> u32 {
+    assert!(k >= 2, "need at least two quantization levels");
+    assert!(epsilon >= 0.0, "error rate must be non-negative");
+    let raw = ((k as f64 - 1.5) * epsilon + 0.5).floor();
+    (raw.min(f64::from(k - 1))) as u32
+}
+
+/// Maximum read error rate (paper Eq. 13):
+/// `MaxDigitalDeviation / (k − 1)`.
+///
+/// # Panics
+///
+/// Same conditions as [`max_digital_deviation`].
+pub fn max_error_rate(k: u32, epsilon: f64) -> f64 {
+    f64::from(max_digital_deviation(k, epsilon)) / f64::from(k - 1)
+}
+
+/// Average digital deviation in levels (paper Eq. 14):
+/// `(Σ_{i=0}^{k−1} ⌊i·ε + 0.5⌋) / k`.
+///
+/// # Panics
+///
+/// Same conditions as [`max_digital_deviation`].
+pub fn avg_digital_deviation(k: u32, epsilon: f64) -> f64 {
+    assert!(k >= 2, "need at least two quantization levels");
+    assert!(epsilon >= 0.0, "error rate must be non-negative");
+    let cap = f64::from(k - 1);
+    let sum: f64 = (0..k)
+        .map(|i| (f64::from(i) * epsilon + 0.5).floor().min(cap))
+        .sum();
+    sum / f64::from(k)
+}
+
+/// Average read error rate: `AvgDigitalDeviation / (k − 1)`.
+///
+/// # Panics
+///
+/// Same conditions as [`max_digital_deviation`].
+pub fn avg_error_rate(k: u32, epsilon: f64) -> f64 {
+    avg_digital_deviation(k, epsilon) / f64::from(k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // "when k equals 64 and ε equals 10%, the MaxDigitalDeviation
+        //  equals 6, which means the maximum value 63 can be wrongly read
+        //  as 57" — paper §VI.C.
+        assert_eq!(max_digital_deviation(64, 0.10), 6);
+        assert!((max_error_rate(64, 0.10) - 6.0 / 63.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_epsilon_rounds_to_half_level() {
+        // ⌊0 + 0.5⌋ = 0: a perfect signal never crosses a boundary.
+        assert_eq!(max_digital_deviation(64, 0.0), 0);
+        assert_eq!(max_error_rate(64, 0.0), 0.0);
+        assert!((avg_digital_deviation(64, 0.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_monotone_in_epsilon() {
+        let mut prev = 0;
+        for step in 0..40 {
+            let eps = step as f64 * 0.01;
+            let d = max_digital_deviation(64, eps);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn average_below_max() {
+        for eps in [0.01, 0.05, 0.1, 0.2] {
+            for k in [16u32, 64, 256] {
+                assert!(
+                    avg_digital_deviation(k, eps) <= f64::from(max_digital_deviation(k, eps)),
+                    "k={k}, ε={eps}"
+                );
+                assert!(avg_error_rate(k, eps) <= max_error_rate(k, eps) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn avg_deviation_closed_form_sanity() {
+        // For ε = 1 every level deviates by ⌊i + 0.5⌋ = i, so the mean is
+        // (k−1)/2.
+        let k = 64;
+        assert!((avg_digital_deviation(k, 1.0) - 31.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_levels_mean_more_absolute_deviation() {
+        // Fixed ε, growing k: the absolute level deviation grows...
+        assert!(max_digital_deviation(256, 0.05) > max_digital_deviation(16, 0.05));
+        // ...but the *relative* error rate stays ≈ ε.
+        let e = max_error_rate(256, 0.05);
+        assert!((e - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn k_must_be_at_least_two() {
+        let _ = max_digital_deviation(1, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn epsilon_must_be_non_negative() {
+        let _ = max_digital_deviation(64, -0.1);
+    }
+}

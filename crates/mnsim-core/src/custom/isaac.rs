@@ -1,0 +1,169 @@
+//! The ISAAC tile case study (paper §VII.E-2, Table VII).
+//!
+//! ISAAC (Shafiee et al., ISCA'16) organizes 128×128 crossbars into tiles
+//! with a 22-stage inner pipeline. Several of its modules are outside
+//! MNSIM's reference design — the eDRAM buffer, the sample-and-hold
+//! arrays, and the custom 8-bit 1.2 GS/s SAR ADC — so their dynamic power
+//! and area are *imported* from the original publication (exactly what the
+//! paper does: "The authors have provided the dynamic power and area
+//! consumption of these modules, and we directly import them").
+
+use mnsim_nn::models;
+use mnsim_tech::cmos::CmosNode;
+use mnsim_tech::units::{Area, Energy, Power, Time};
+
+use crate::config::{Config, NetworkType, Precision};
+use crate::custom::{CustomDesign, CustomReport, ImportedModule};
+use crate::error::CoreError;
+use crate::perf::ModulePerf;
+
+/// ISAAC's inner pipeline depth.
+pub const ISAAC_PIPELINE_DEPTH: usize = 22;
+
+/// The base configuration of one ISAAC tile: 32 nm CMOS, 128-size RRAM
+/// crossbars, 8-bit data (the device is RRAM because the original paper
+/// "hasn't provided the detailed device information").
+pub fn isaac_config() -> Config {
+    // A tile computes a 1152×1024-ish slice in the original; the published
+    // peak-performance task uses all 96 crossbars of the tile. With dual
+    // crossbars and 2 slices per weight (2-bit cells in ISAAC; we keep
+    // 4-bit cells → 2 slices × 2 polarity = 4 crossbars per block), a
+    // 1536×512 layer occupies 12 blocks × ... — we pick a layer that maps
+    // onto 24 blocks × 4 crossbars = 96 crossbars.
+    let mut config = Config::for_network(models::mlp(&[384, 1024]).expect("static dims"));
+    config.network_type = NetworkType::Ann;
+    config.cmos = CmosNode::N32;
+    config.crossbar_size = 128;
+    config.precision = Precision {
+        input_bits: 8,
+        weight_bits: 8,
+        output_bits: 8,
+    };
+    config.device.bits_per_cell = 4;
+    // ISAAC shares a single ADC per crossbar and hides the conversion
+    // latency inside the 22-stage pipeline.
+    config.parallelism = 1;
+    config
+}
+
+/// The imported ISAAC modules with the published per-tile numbers
+/// (Shafiee et al., Table 6: eDRAM 0.083 mm²/20.7 mW, ADC block
+/// 0.0096 mm²/16 mW ×8, S&H 0.00004 mm² ×8, output register etc. — the
+/// dominant three are imported, matching the paper's procedure).
+pub fn isaac_imported_modules() -> Vec<ImportedModule> {
+    let cycle = Time::from_nanoseconds(100.0); // ISAAC's 100 ns cycle
+    vec![
+        ImportedModule {
+            name: "eDRAM buffer".into(),
+            perf: ModulePerf::new(
+                Area::from_square_millimeters(0.083),
+                cycle,
+                Energy::from_joules(20.7e-3 * 100e-9),
+                Power::from_milliwatts(2.0),
+            ),
+            count: 1,
+        },
+        ImportedModule {
+            name: "custom SAR ADC".into(),
+            perf: ModulePerf::new(
+                Area::from_square_millimeters(0.0096),
+                Time::from_nanoseconds(0.83), // 1.2 GS/s
+                Energy::from_joules(2.0e-3 * 100e-9),
+                Power::from_microwatts(200.0),
+            ),
+            count: 8,
+        },
+        ImportedModule {
+            name: "sample-and-hold".into(),
+            perf: ModulePerf::new(
+                Area::from_square_micrometers(40.0),
+                Time::from_nanoseconds(1.0),
+                Energy::from_picojoules(1.0),
+                Power::from_nanowatts(10.0),
+            ),
+            count: 8,
+        },
+    ]
+}
+
+/// The ISAAC tile as a customized design: imported modules + 22-stage
+/// pipeline.
+pub fn isaac_design() -> CustomDesign {
+    CustomDesign {
+        base: isaac_config(),
+        imported: isaac_imported_modules(),
+        pipeline_depth: Some(ISAAC_PIPELINE_DEPTH),
+    }
+}
+
+/// Evaluates the ISAAC tile on a task filling all its crossbars.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn simulate_isaac() -> Result<CustomReport, CoreError> {
+    isaac_design().evaluate("ISAAC tile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_uses_96_crossbars() {
+        let c = isaac_config();
+        let p = crate::mapping::Partition::new(&c, 384, 1024);
+        let u = crate::arch::unit::evaluate_unit(&c, 128, 128);
+        assert_eq!(
+            p.unit_count() * u.crossbar_count,
+            96,
+            "blocks {} × crossbars {}",
+            p.unit_count(),
+            u.crossbar_count
+        );
+    }
+
+    #[test]
+    fn pipeline_depth_is_22() {
+        let design = isaac_design();
+        assert_eq!(design.pipeline_depth, Some(22));
+    }
+
+    #[test]
+    fn imported_modules_match_publication_names() {
+        let modules = isaac_imported_modules();
+        let names: Vec<&str> = modules.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"eDRAM buffer"));
+        assert!(names.contains(&"custom SAR ADC"));
+        assert!(names.contains(&"sample-and-hold"));
+    }
+
+    #[test]
+    fn report_magnitudes_are_plausible() {
+        // Table VII: area 0.37 mm², energy 0.94 µJ, latency 2.2 µs,
+        // accuracy 96 %. Shape check: sub-10-mm² tile, µJ-scale energy,
+        // µs-scale latency.
+        let report = simulate_isaac().unwrap();
+        let area = report.area.square_millimeters();
+        assert!(area > 0.05 && area < 20.0, "area {area} mm²");
+        let energy = report.energy_per_task.microjoules();
+        assert!(energy > 0.01 && energy < 1000.0, "energy {energy} µJ");
+        let latency = report.latency.microseconds();
+        assert!(latency > 0.1 && latency < 1000.0, "latency {latency} µs");
+    }
+
+    #[test]
+    fn latency_is_22_stages() {
+        let report = simulate_isaac().unwrap();
+        let base = crate::simulate::simulate(&isaac_config()).unwrap();
+        let stage = base
+            .pipeline_cycle
+            .max(Time::from_nanoseconds(100.0)); // eDRAM import latency
+        assert!(
+            (report.latency.seconds() - stage.seconds() * 22.0).abs() < 1e-12,
+            "{} vs {}",
+            report.latency.seconds(),
+            stage.seconds() * 22.0
+        );
+    }
+}

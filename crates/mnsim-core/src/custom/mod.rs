@@ -1,0 +1,194 @@
+//! Customized designs (paper §III.E and §VII.E).
+//!
+//! MNSIM's customization interfaces let users (1) remap the reference
+//! modules into different connections and (2) import performance records
+//! for modules MNSIM does not model. This module provides the generic
+//! mechanism ([`CustomDesign`], [`ImportedModule`]) plus the two published
+//! case studies:
+//!
+//! * [`prime`] — the PRIME full-function subarray (Chi et al., ISCA'16),
+//! * [`isaac`] — the ISAAC tile with its 22-stage inner pipeline
+//!   (Shafiee et al., ISCA'16).
+
+pub mod isaac;
+pub mod prime;
+
+use mnsim_tech::units::{Area, Energy, Power, Time};
+
+use crate::config::Config;
+use crate::error::CoreError;
+use crate::perf::ModulePerf;
+use crate::simulate::simulate;
+
+/// A module whose performance record is imported from external data
+/// (a publication, a layout, another simulator such as NVSim) instead of
+/// MNSIM's reference models — the paper's §III.E-3 customization path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportedModule {
+    /// Human-readable name (e.g. "eDRAM buffer").
+    pub name: String,
+    /// The imported per-operation performance record.
+    pub perf: ModulePerf,
+    /// Instances of this module in the design.
+    pub count: usize,
+}
+
+impl ImportedModule {
+    /// The record scaled to all instances operating in parallel.
+    pub fn total(&self) -> ModulePerf {
+        self.perf.replicate_parallel(self.count)
+    }
+}
+
+/// A customized accelerator: the reference hierarchy of `base` plus
+/// imported modules, with an optional inner-pipeline override for designs
+/// like ISAAC whose tile runs a fixed multi-cycle schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomDesign {
+    /// The underlying reference configuration.
+    pub base: Config,
+    /// Modules imported from external data.
+    pub imported: Vec<ImportedModule>,
+    /// If set, the design executes `depth` pipeline stages per task, each
+    /// one reference pipeline cycle long (ISAAC's 22-cycle inner pipeline).
+    pub pipeline_depth: Option<usize>,
+}
+
+/// The evaluation result of a customized design (a Table VII column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomReport {
+    /// Design name.
+    pub name: String,
+    /// Total area (reference modules + imported modules).
+    pub area: Area,
+    /// Energy for one complete task.
+    pub energy_per_task: Energy,
+    /// Latency of one complete task.
+    pub latency: Time,
+    /// Average relative accuracy (1 − average output error rate).
+    pub relative_accuracy: f64,
+    /// Average power over a task.
+    pub power: Power,
+}
+
+impl CustomDesign {
+    /// Evaluates the customized design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration/simulation errors.
+    pub fn evaluate(&self, name: impl Into<String>) -> Result<CustomReport, CoreError> {
+        let report = simulate(&self.base)?;
+
+        let imported_area: Area = self.imported.iter().map(|m| m.total().area).sum();
+        let imported_leakage: Power = self.imported.iter().map(|m| m.total().leakage).sum();
+
+        let area = report.total_area + imported_area;
+
+        let (latency, cycles) = match self.pipeline_depth {
+            Some(depth) => {
+                // The task occupies `depth` stages; each stage is bounded
+                // by the slowest of the reference cycle and the imported
+                // modules.
+                let imported_latency = self
+                    .imported
+                    .iter()
+                    .map(|m| m.perf.latency)
+                    .fold(Time::ZERO, Time::max);
+                let stage = report.pipeline_cycle.max(imported_latency);
+                (stage * depth as f64, depth)
+            }
+            None => (report.sample_latency, 1),
+        };
+
+        let imported_energy: Energy = self
+            .imported
+            .iter()
+            .map(|m| m.total().dynamic_energy)
+            .sum();
+        let energy_per_task = report.energy_per_sample + imported_energy * cycles as f64;
+
+        let power = if latency.seconds() > 0.0 {
+            energy_per_task / latency + report.accelerator.total_leakage + imported_leakage
+        } else {
+            report.accelerator.total_leakage + imported_leakage
+        };
+
+        Ok(CustomReport {
+            name: name.into(),
+            area,
+            energy_per_task,
+            latency,
+            relative_accuracy: 1.0 - report.output_avg_error_rate,
+            power,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnsim_tech::units::{Area, Energy, Power, Time};
+
+    fn imported() -> ImportedModule {
+        ImportedModule {
+            name: "eDRAM".into(),
+            perf: ModulePerf::new(
+                Area::from_square_micrometers(1000.0),
+                Time::from_nanoseconds(10.0),
+                Energy::from_picojoules(50.0),
+                Power::from_microwatts(5.0),
+            ),
+            count: 4,
+        }
+    }
+
+    #[test]
+    fn imported_modules_add_area_and_energy() {
+        let base = Config::fully_connected_mlp(&[64, 64]).unwrap();
+        let plain = CustomDesign {
+            base: base.clone(),
+            imported: vec![],
+            pipeline_depth: None,
+        }
+        .evaluate("plain")
+        .unwrap();
+        let custom = CustomDesign {
+            base,
+            imported: vec![imported()],
+            pipeline_depth: None,
+        }
+        .evaluate("custom")
+        .unwrap();
+        let area_gain = custom.area.square_micrometers() - plain.area.square_micrometers();
+        assert!((area_gain - 4000.0).abs() < 1e-6);
+        assert!(custom.energy_per_task.joules() > plain.energy_per_task.joules());
+    }
+
+    #[test]
+    fn pipeline_depth_multiplies_latency() {
+        let base = Config::fully_connected_mlp(&[64, 64]).unwrap();
+        let design = CustomDesign {
+            base,
+            imported: vec![],
+            pipeline_depth: Some(22),
+        };
+        let report = design.evaluate("pipelined").unwrap();
+        let reference = simulate(&design.base).unwrap();
+        let expected = reference.pipeline_cycle.seconds() * 22.0;
+        assert!((report.latency.seconds() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accuracy_between_zero_and_one() {
+        let base = Config::fully_connected_mlp(&[128, 128]).unwrap();
+        let report = CustomDesign {
+            base,
+            imported: vec![],
+            pipeline_depth: None,
+        }
+        .evaluate("acc")
+        .unwrap();
+        assert!((0.0..=1.0).contains(&report.relative_accuracy));
+    }
+}

@@ -1,0 +1,512 @@
+//! Design-space exploration (paper §VII.C/D).
+//!
+//! MNSIM explores designs by exhaustive traversal — cheap because one
+//! behavior-level evaluation takes microseconds ("All the 10,220 designs
+//! are simulated within 4 seconds"). The swept variables are the paper's
+//! three: crossbar size, computation parallelism degree, and interconnect
+//! technology node. Results support per-metric optima (Tables IV/VI),
+//! constrained sweeps (Table V), trade-off curves (Figs. 7/8) and Pareto
+//! filtering.
+
+use std::sync::Mutex;
+
+use mnsim_tech::interconnect::InterconnectNode;
+
+use crate::config::Config;
+use crate::error::CoreError;
+use crate::simulate::{simulate, Report};
+
+/// The swept parameter ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpace {
+    /// Crossbar sizes to try (powers of two in `4..=1024`).
+    pub crossbar_sizes: Vec<usize>,
+    /// Parallelism degrees to try (entries larger than the crossbar size
+    /// are skipped for that size).
+    pub parallelism_degrees: Vec<usize>,
+    /// Interconnect nodes to try.
+    pub interconnects: Vec<InterconnectNode>,
+}
+
+impl DesignSpace {
+    /// The paper's large-computation-bank sweep (§VII.C): sizes double
+    /// from 4 to 1024, parallelism from 1 to 128, wires
+    /// {18, 22, 28, 36, 45} nm.
+    pub fn paper_large_bank() -> Self {
+        DesignSpace {
+            crossbar_sizes: doubling(4, 1024),
+            parallelism_degrees: doubling(1, 128),
+            interconnects: InterconnectNode::BANK_SWEEP.to_vec(),
+        }
+    }
+
+    /// The paper's CNN sweep (§VII.D): same ranges with the interconnect
+    /// range enlarged up to 90 nm.
+    pub fn paper_cnn() -> Self {
+        DesignSpace {
+            crossbar_sizes: doubling(4, 1024),
+            parallelism_degrees: doubling(1, 128),
+            interconnects: InterconnectNode::ALL.to_vec(),
+        }
+    }
+
+    /// Number of raw combinations (before the `p ≤ size` filter).
+    pub fn len(&self) -> usize {
+        self.crossbar_sizes.len() * self.parallelism_degrees.len() * self.interconnects.len()
+    }
+
+    /// `true` if the space contains no combinations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All valid `(size, parallelism, interconnect)` combinations.
+    fn combinations(&self) -> Vec<(usize, usize, InterconnectNode)> {
+        let mut combos = Vec::with_capacity(self.len());
+        for &size in &self.crossbar_sizes {
+            for &p in &self.parallelism_degrees {
+                if p > size {
+                    continue;
+                }
+                for &wire in &self.interconnects {
+                    combos.push((size, p, wire));
+                }
+            }
+        }
+        combos
+    }
+}
+
+fn doubling(from: usize, to: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut x = from;
+    while x <= to {
+        v.push(x);
+        x *= 2;
+    }
+    v
+}
+
+/// Feasibility constraints applied before ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Constraints {
+    /// Upper bound on the single-crossbar computing error rate `ε`
+    /// (the paper uses 25 % for the bank study, 50 % for the CNN study).
+    pub max_crossbar_error: Option<f64>,
+    /// Upper bound on total area in mm².
+    pub max_area_mm2: Option<f64>,
+    /// Upper bound on average power in watts.
+    pub max_power_w: Option<f64>,
+}
+
+impl Constraints {
+    /// A crossbar-error bound alone (the paper's setup).
+    pub fn crossbar_error(bound: f64) -> Self {
+        Constraints {
+            max_crossbar_error: Some(bound),
+            ..Constraints::default()
+        }
+    }
+
+    /// `true` if the report satisfies every bound.
+    pub fn admits(&self, report: &Report) -> bool {
+        if let Some(bound) = self.max_crossbar_error {
+            if report.worst_crossbar_epsilon > bound {
+                return false;
+            }
+        }
+        if let Some(bound) = self.max_area_mm2 {
+            if report.total_area.square_millimeters() > bound {
+                return false;
+            }
+        }
+        if let Some(bound) = self.max_power_w {
+            if report.power.watts() > bound {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The optimization target of a per-metric optimum (Table IV columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize total area.
+    Area,
+    /// Minimize energy per sample.
+    Energy,
+    /// Minimize end-to-end sample latency.
+    Latency,
+    /// Minimize the final output error rate ("Computation Accuracy").
+    Accuracy,
+    /// Minimize average power.
+    Power,
+}
+
+impl Objective {
+    /// The four Table-IV/VI columns.
+    pub const TABLE_COLUMNS: [Objective; 4] = [
+        Objective::Area,
+        Objective::Energy,
+        Objective::Latency,
+        Objective::Accuracy,
+    ];
+
+    /// Extracts the (to-be-minimized) metric from a report.
+    pub fn value(&self, report: &Report) -> f64 {
+        match self {
+            Objective::Area => report.total_area.square_millimeters(),
+            Objective::Energy => report.energy_per_sample.microjoules(),
+            Objective::Latency => report.sample_latency.microseconds(),
+            Objective::Accuracy => report.output_max_error_rate,
+            Objective::Power => report.power.watts(),
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Objective::Area => write!(f, "area"),
+            Objective::Energy => write!(f, "energy"),
+            Objective::Latency => write!(f, "latency"),
+            Objective::Accuracy => write!(f, "accuracy"),
+            Objective::Power => write!(f, "power"),
+        }
+    }
+}
+
+/// One evaluated design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Crossbar size of this design.
+    pub crossbar_size: usize,
+    /// Parallelism degree of this design.
+    pub parallelism: usize,
+    /// Interconnect node of this design.
+    pub interconnect: InterconnectNode,
+    /// The full simulation report.
+    pub report: Report,
+}
+
+/// The outcome of a traversal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseResult {
+    /// Raw combinations evaluated (including infeasible ones).
+    pub evaluated: usize,
+    /// Designs passing the constraints.
+    pub feasible: Vec<DesignPoint>,
+}
+
+impl DseResult {
+    /// The feasible design minimizing `objective` (ties broken by smaller
+    /// area).
+    pub fn best(&self, objective: Objective) -> Option<&DesignPoint> {
+        self.feasible.iter().min_by(|a, b| {
+            objective
+                .value(&a.report)
+                .total_cmp(&objective.value(&b.report))
+                .then(
+                    Objective::Area
+                        .value(&a.report)
+                        .total_cmp(&Objective::Area.value(&b.report)),
+                )
+        })
+    }
+
+    /// The feasible design minimizing `primary` with `secondary` as the
+    /// tie-break (the paper's "secondary optimization target" for
+    /// accuracy, §VII.C-1).
+    pub fn best_with_secondary(
+        &self,
+        primary: Objective,
+        secondary: Objective,
+    ) -> Option<&DesignPoint> {
+        let best_value = self
+            .feasible
+            .iter()
+            .map(|p| primary.value(&p.report))
+            .min_by(f64::total_cmp)?;
+        self.feasible
+            .iter()
+            .filter(|p| primary.value(&p.report) <= best_value * 1.000001)
+            .min_by(|a, b| {
+                secondary
+                    .value(&a.report)
+                    .total_cmp(&secondary.value(&b.report))
+            })
+    }
+
+    /// The Pareto-optimal subset under the given objectives (all
+    /// minimized).
+    pub fn pareto(&self, objectives: &[Objective]) -> Vec<&DesignPoint> {
+        let dominated = |a: &DesignPoint, b: &DesignPoint| -> bool {
+            // b dominates a: no worse everywhere, better somewhere.
+            let mut strictly_better = false;
+            for obj in objectives {
+                let (va, vb) = (obj.value(&a.report), obj.value(&b.report));
+                if vb > va {
+                    return false;
+                }
+                if vb < va {
+                    strictly_better = true;
+                }
+            }
+            strictly_better
+        };
+        self.feasible
+            .iter()
+            .filter(|a| !self.feasible.iter().any(|b| dominated(a, b)))
+            .collect()
+    }
+}
+
+/// Exhaustively traverses `space` around `base` (the network, device,
+/// CMOS node, precisions and sense resistance are taken from `base`; the
+/// three swept parameters are overridden).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyDesignSpace`] if no combination passes the
+/// constraints, and propagates evaluation errors.
+pub fn explore(
+    base: &Config,
+    space: &DesignSpace,
+    constraints: &Constraints,
+) -> Result<DseResult, CoreError> {
+    let combos = space.combinations();
+    let mut feasible = Vec::new();
+    for &(size, p, wire) in &combos {
+        let point = evaluate_point(base, size, p, wire)?;
+        if constraints.admits(&point.report) {
+            feasible.push(point);
+        }
+    }
+    finish(combos.len(), feasible, constraints)
+}
+
+/// Multi-threaded variant of [`explore`].
+///
+/// # Errors
+///
+/// Same conditions as [`explore`].
+pub fn explore_parallel(
+    base: &Config,
+    space: &DesignSpace,
+    constraints: &Constraints,
+    threads: usize,
+) -> Result<DseResult, CoreError> {
+    let combos = space.combinations();
+    let threads = threads.max(1).min(combos.len().max(1));
+    let feasible = Mutex::new(Vec::new());
+    let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+
+    let feasible_ref = &feasible;
+    let first_error_ref = &first_error;
+    std::thread::scope(|scope| {
+        for chunk in combos.chunks(combos.len().div_ceil(threads).max(1)) {
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for &(size, p, wire) in chunk {
+                    match evaluate_point(base, size, p, wire) {
+                        Ok(point) => {
+                            if constraints.admits(&point.report) {
+                                local.push(point);
+                            }
+                        }
+                        Err(e) => {
+                            let mut slot = first_error_ref.lock().expect("poisoned");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                }
+                feasible_ref.lock().expect("poisoned").extend(local);
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner().expect("poisoned") {
+        return Err(e);
+    }
+    let mut feasible = feasible.into_inner().expect("poisoned");
+    // Deterministic order regardless of thread interleaving.
+    feasible.sort_by_key(|p| (p.crossbar_size, p.parallelism, p.interconnect.nanometers()));
+    finish(combos.len(), feasible, constraints)
+}
+
+fn evaluate_point(
+    base: &Config,
+    size: usize,
+    parallelism: usize,
+    interconnect: InterconnectNode,
+) -> Result<DesignPoint, CoreError> {
+    let mut config = base.clone();
+    config.crossbar_size = size;
+    config.parallelism = parallelism;
+    config.interconnect = interconnect;
+    let report = simulate(&config)?;
+    Ok(DesignPoint {
+        crossbar_size: size,
+        parallelism,
+        interconnect,
+        report,
+    })
+}
+
+fn finish(
+    evaluated: usize,
+    feasible: Vec<DesignPoint>,
+    constraints: &Constraints,
+) -> Result<DseResult, CoreError> {
+    if feasible.is_empty() {
+        return Err(CoreError::EmptyDesignSpace {
+            constraints: format!("{constraints:?}"),
+        });
+    }
+    Ok(DseResult {
+        evaluated,
+        feasible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> DesignSpace {
+        DesignSpace {
+            crossbar_sizes: vec![32, 64, 128],
+            parallelism_degrees: vec![1, 16, 64],
+            interconnects: vec![InterconnectNode::N28, InterconnectNode::N45],
+        }
+    }
+
+    fn base() -> Config {
+        Config::fully_connected_mlp(&[512, 256]).unwrap()
+    }
+
+    #[test]
+    fn doubling_ranges() {
+        assert_eq!(doubling(4, 64), vec![4, 8, 16, 32, 64]);
+        assert_eq!(doubling(1, 1), vec![1]);
+    }
+
+    #[test]
+    fn paper_space_size_matches_order_of_magnitude() {
+        // The paper sweeps thousands of designs for the bank study; sizes
+        // 4..1024 × p 1..128 × 5 wires with the p ≤ size filter lands in
+        // the same range.
+        let space = DesignSpace::paper_large_bank();
+        let combos = space.combinations();
+        assert!(combos.len() > 200 && combos.len() < 20_000, "{}", combos.len());
+    }
+
+    #[test]
+    fn parallelism_filtered_by_size() {
+        let space = DesignSpace {
+            crossbar_sizes: vec![8],
+            parallelism_degrees: vec![1, 8, 64],
+            interconnects: vec![InterconnectNode::N45],
+        };
+        assert_eq!(space.combinations().len(), 2); // 64 > 8 dropped
+    }
+
+    #[test]
+    fn explore_finds_per_metric_optima() {
+        let result = explore(&base(), &small_space(), &Constraints::default()).unwrap();
+        assert_eq!(result.evaluated, small_space().combinations().len());
+        let area_best = result.best(Objective::Area).unwrap();
+        let lat_best = result.best(Objective::Latency).unwrap();
+        assert!(
+            Objective::Area.value(&area_best.report)
+                <= Objective::Area.value(&lat_best.report)
+        );
+        assert!(
+            Objective::Latency.value(&lat_best.report)
+                <= Objective::Latency.value(&area_best.report)
+        );
+    }
+
+    #[test]
+    fn constraints_filter_designs() {
+        let unconstrained = explore(&base(), &small_space(), &Constraints::default()).unwrap();
+        let tight = Constraints::crossbar_error(
+            unconstrained
+                .feasible
+                .iter()
+                .map(|p| p.report.worst_crossbar_epsilon)
+                .fold(f64::INFINITY, f64::min)
+                * 1.01,
+        );
+        let constrained = explore(&base(), &small_space(), &tight).unwrap();
+        assert!(constrained.feasible.len() < unconstrained.feasible.len());
+    }
+
+    #[test]
+    fn impossible_constraints_error() {
+        let c = Constraints::crossbar_error(0.0);
+        assert!(matches!(
+            explore(&base(), &small_space(), &c),
+            Err(CoreError::EmptyDesignSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = explore(&base(), &small_space(), &Constraints::default()).unwrap();
+        let parallel =
+            explore_parallel(&base(), &small_space(), &Constraints::default(), 4).unwrap();
+        assert_eq!(serial.evaluated, parallel.evaluated);
+        assert_eq!(serial.feasible.len(), parallel.feasible.len());
+        let key = |p: &DesignPoint| (p.crossbar_size, p.parallelism, p.interconnect);
+        let mut a: Vec<_> = serial.feasible.iter().map(key).collect();
+        a.sort_by_key(|k| (k.0, k.1, k.2.nanometers()));
+        let b: Vec<_> = parallel.feasible.iter().map(key).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pareto_contains_every_single_objective_optimum() {
+        let result = explore(&base(), &small_space(), &Constraints::default()).unwrap();
+        let front = result.pareto(&[Objective::Area, Objective::Latency]);
+        assert!(!front.is_empty());
+        let area_best = result.best(Objective::Area).unwrap();
+        assert!(front.iter().any(|p| {
+            Objective::Area.value(&p.report) == Objective::Area.value(&area_best.report)
+        }));
+        // Every front member must be non-dominated.
+        for a in &front {
+            for b in &result.feasible {
+                let better_area =
+                    Objective::Area.value(&b.report) < Objective::Area.value(&a.report);
+                let better_lat =
+                    Objective::Latency.value(&b.report) < Objective::Latency.value(&a.report);
+                let no_worse_area =
+                    Objective::Area.value(&b.report) <= Objective::Area.value(&a.report);
+                let no_worse_lat =
+                    Objective::Latency.value(&b.report) <= Objective::Latency.value(&a.report);
+                assert!(
+                    !(no_worse_area && no_worse_lat && (better_area || better_lat)),
+                    "front member dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn secondary_objective_breaks_ties() {
+        let result = explore(&base(), &small_space(), &Constraints::default()).unwrap();
+        let best = result
+            .best_with_secondary(Objective::Accuracy, Objective::Area)
+            .unwrap();
+        let plain = result.best(Objective::Accuracy).unwrap();
+        assert!(
+            Objective::Accuracy.value(&best.report)
+                <= Objective::Accuracy.value(&plain.report) * 1.000001
+        );
+    }
+}

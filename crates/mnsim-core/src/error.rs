@@ -1,0 +1,111 @@
+//! Error type for the MNSIM platform.
+
+use std::error::Error;
+use std::fmt;
+
+use mnsim_circuit::CircuitError;
+use mnsim_nn::NnError;
+use mnsim_tech::TechError;
+
+/// Errors produced by configuration, simulation, or exploration.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value is invalid or inconsistent.
+    InvalidConfig {
+        /// The offending parameter (Table I name where applicable).
+        parameter: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+    /// A configuration file could not be parsed.
+    ConfigParse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The design space is empty after applying constraints.
+    EmptyDesignSpace {
+        /// Description of the active constraints.
+        constraints: String,
+    },
+    /// Error propagated from the technology layer.
+    Tech(TechError),
+    /// Error propagated from the circuit simulator.
+    Circuit(CircuitError),
+    /// Error propagated from the network substrate.
+    Nn(NnError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration `{parameter}`: {reason}")
+            }
+            CoreError::ConfigParse { line, reason } => {
+                write!(f, "configuration parse error at line {line}: {reason}")
+            }
+            CoreError::EmptyDesignSpace { constraints } => {
+                write!(f, "no design satisfies the constraints: {constraints}")
+            }
+            CoreError::Tech(e) => write!(f, "technology model: {e}"),
+            CoreError::Circuit(e) => write!(f, "circuit simulation: {e}"),
+            CoreError::Nn(e) => write!(f, "network substrate: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tech(e) => Some(e),
+            CoreError::Circuit(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TechError> for CoreError {
+    fn from(e: TechError) -> Self {
+        CoreError::Tech(e)
+    }
+}
+
+impl From<CircuitError> for CoreError {
+    fn from(e: CircuitError) -> Self {
+        CoreError::Circuit(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidConfig {
+            parameter: "Crossbar_Size",
+            reason: "must be a power of two".into(),
+        };
+        assert!(e.to_string().contains("Crossbar_Size"));
+
+        let e: CoreError = TechError::NoConverter { bits: 12 }.into();
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("12-bit"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

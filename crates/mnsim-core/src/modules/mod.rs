@@ -1,0 +1,24 @@
+//! Reference circuit-module performance models (paper §V).
+//!
+//! Every function here returns a [`crate::perf::ModulePerf`] — the
+//! area/latency/energy/leakage record the hierarchical aggregation
+//! consumes. Modules:
+//!
+//! * [`crossbar`] — the memristor array (area Eqs. 7-8, average-case power,
+//!   RC settling),
+//! * [`decoder`] — memory- and computation-oriented decoders (Fig. 4),
+//! * [`converters`] — DAC / ADC / multilevel-SA wrappers,
+//! * [`digital`] — adders, adder trees, shifters, MUXes, registers,
+//!   controllers,
+//! * [`neuron`] — sigmoid / ReLU / integrate-and-fire neuron circuits,
+//! * [`pooling`] — pooling comparator tree and line buffers (Eq. 6),
+//! * [`interface`] — accelerator I/O interfaces.
+
+pub mod converters;
+pub mod crossbar;
+pub mod decoder;
+pub mod digital;
+pub mod interface;
+pub mod link;
+pub mod neuron;
+pub mod pooling;

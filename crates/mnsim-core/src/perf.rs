@@ -1,0 +1,178 @@
+//! The common performance record every module model produces.
+//!
+//! MNSIM is a bottom-up simulator: the performance of a higher-level module
+//! is the aggregation of its children (paper §IV.A). [`ModulePerf`] is the
+//! unit of that aggregation — area, worst-case latency, dynamic energy per
+//! operation, and leakage power.
+
+use std::iter::Sum;
+use std::ops::Add;
+
+use mnsim_tech::units::{Area, Energy, Power, Time};
+
+/// Area / latency / energy / leakage of one module (or aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModulePerf {
+    /// Layout area.
+    pub area: Area,
+    /// Worst-case latency contribution on the critical path.
+    pub latency: Time,
+    /// Dynamic energy consumed per operation of the module.
+    pub dynamic_energy: Energy,
+    /// Static (leakage) power.
+    pub leakage: Power,
+}
+
+impl ModulePerf {
+    /// The all-zero record.
+    pub const ZERO: ModulePerf = ModulePerf {
+        area: Area::ZERO,
+        latency: Time::ZERO,
+        dynamic_energy: Energy::ZERO,
+        leakage: Power::ZERO,
+    };
+
+    /// Creates a record from its four components.
+    pub fn new(area: Area, latency: Time, dynamic_energy: Energy, leakage: Power) -> Self {
+        ModulePerf {
+            area,
+            latency,
+            dynamic_energy,
+            leakage,
+        }
+    }
+
+    /// `count` copies of this module operating **in parallel**: area,
+    /// energy and leakage scale; latency is unchanged.
+    pub fn replicate_parallel(&self, count: usize) -> ModulePerf {
+        ModulePerf {
+            area: self.area * count as f64,
+            latency: self.latency,
+            dynamic_energy: self.dynamic_energy * count as f64,
+            leakage: self.leakage * count as f64,
+        }
+    }
+
+    /// The module operated `count` times **sequentially**: latency and
+    /// energy scale; area and leakage are unchanged.
+    pub fn repeat_sequential(&self, count: usize) -> ModulePerf {
+        ModulePerf {
+            area: self.area,
+            latency: self.latency * count as f64,
+            dynamic_energy: self.dynamic_energy * count as f64,
+            leakage: self.leakage,
+        }
+    }
+
+    /// Aggregate of two modules on the same critical path (areas, energies,
+    /// leakages and latencies all add).
+    pub fn chain(&self, other: &ModulePerf) -> ModulePerf {
+        ModulePerf {
+            area: self.area + other.area,
+            latency: self.latency + other.latency,
+            dynamic_energy: self.dynamic_energy + other.dynamic_energy,
+            leakage: self.leakage + other.leakage,
+        }
+    }
+
+    /// Aggregate of two modules operating side by side (areas, energies and
+    /// leakages add; latency is the worst of the two).
+    pub fn merge_parallel(&self, other: &ModulePerf) -> ModulePerf {
+        ModulePerf {
+            area: self.area + other.area,
+            latency: self.latency.max(other.latency),
+            dynamic_energy: self.dynamic_energy + other.dynamic_energy,
+            leakage: self.leakage + other.leakage,
+        }
+    }
+
+    /// Average power over one operation: `dynamic_energy / latency +
+    /// leakage`. Returns just the leakage if the latency is zero.
+    pub fn average_power(&self) -> Power {
+        if self.latency.seconds() > 0.0 {
+            self.dynamic_energy / self.latency + self.leakage
+        } else {
+            self.leakage
+        }
+    }
+}
+
+impl Add for ModulePerf {
+    type Output = ModulePerf;
+    /// `+` chains two modules on the same critical path (see [`Self::chain`]).
+    fn add(self, rhs: ModulePerf) -> ModulePerf {
+        self.chain(&rhs)
+    }
+}
+
+impl Sum for ModulePerf {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(ModulePerf::ZERO, |acc, p| acc.chain(&p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnsim_tech::units::{Area, Energy, Power, Time};
+
+    fn sample() -> ModulePerf {
+        ModulePerf::new(
+            Area::from_square_micrometers(100.0),
+            Time::from_nanoseconds(10.0),
+            Energy::from_picojoules(5.0),
+            Power::from_microwatts(1.0),
+        )
+    }
+
+    #[test]
+    fn replicate_parallel_keeps_latency() {
+        let p = sample().replicate_parallel(4);
+        assert_eq!(p.area.square_micrometers(), 400.0);
+        assert_eq!(p.latency.nanoseconds(), 10.0);
+        assert_eq!(p.dynamic_energy.picojoules(), 20.0);
+        assert_eq!(p.leakage.microwatts(), 4.0);
+    }
+
+    #[test]
+    fn repeat_sequential_keeps_area() {
+        let p = sample().repeat_sequential(3);
+        assert_eq!(p.area.square_micrometers(), 100.0);
+        assert!((p.latency.nanoseconds() - 30.0).abs() < 1e-9);
+        assert!((p.dynamic_energy.picojoules() - 15.0).abs() < 1e-9);
+        assert_eq!(p.leakage.microwatts(), 1.0);
+    }
+
+    #[test]
+    fn chain_adds_latency_merge_takes_max() {
+        let a = sample();
+        let mut b = sample();
+        b.latency = Time::from_nanoseconds(25.0);
+        let chained = a.chain(&b);
+        assert_eq!(chained.latency.nanoseconds(), 35.0);
+        assert_eq!(chained.area.square_micrometers(), 200.0);
+        let merged = a.merge_parallel(&b);
+        assert_eq!(merged.latency.nanoseconds(), 25.0);
+        assert_eq!(merged.dynamic_energy.picojoules(), 10.0);
+    }
+
+    #[test]
+    fn sum_and_add_agree() {
+        let total: ModulePerf = vec![sample(), sample(), sample()].into_iter().sum();
+        let manual = sample() + sample() + sample();
+        assert_eq!(total, manual);
+        assert!((total.latency.nanoseconds() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_power() {
+        let p = sample();
+        // 5 pJ / 10 ns = 0.5 mW, + 1 µW leakage
+        assert!((p.average_power().milliwatts() - 0.501).abs() < 1e-9);
+        let idle = ModulePerf {
+            latency: Time::ZERO,
+            ..sample()
+        };
+        assert_eq!(idle.average_power().microwatts(), 1.0);
+    }
+}

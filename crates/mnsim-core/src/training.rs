@@ -1,0 +1,255 @@
+//! On-chip training cost model — the first item of the paper's future
+//! work ("we will further support the simulation for … on-chip training
+//! method [51]", after Prezioso et al., Nature 2015).
+//!
+//! During on-chip training every SGD step is: a forward COMPUTE pass, a
+//! backward error-propagation pass (transposed matrix-vector
+//! multiplications on the same crossbars), and a weight-update phase that
+//! reprograms cells. Reprogramming is the expensive part — it pays the
+//! WRITE energy/latency the inference-only usage amortizes away (paper
+//! §II.B) and consumes device endurance.
+
+use mnsim_tech::units::{Energy, Time};
+
+use crate::config::Config;
+use crate::error::CoreError;
+use crate::simulate::{simulate, Report};
+
+/// Parameters of an on-chip training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingPlan {
+    /// Training samples per epoch.
+    pub samples_per_epoch: usize,
+    /// Epochs to run.
+    pub epochs: usize,
+    /// Fraction of weights actually reprogrammed per sample (sparse
+    /// updates; 1.0 = dense SGD).
+    pub update_density: f64,
+    /// Write-verify iterations per cell update (precision tuning after
+    /// Alibart et al. needs several program-read cycles).
+    pub write_verify_iterations: usize,
+    /// Device write endurance in cycles (10⁶ … 10¹² across published
+    /// RRAM/PCM devices).
+    pub endurance_cycles: f64,
+}
+
+impl Default for TrainingPlan {
+    fn default() -> Self {
+        TrainingPlan {
+            samples_per_epoch: 1000,
+            epochs: 10,
+            update_density: 1.0,
+            write_verify_iterations: 3,
+            endurance_cycles: 1e9,
+        }
+    }
+}
+
+impl TrainingPlan {
+    /// Validates the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for empty plans or out-of-range
+    /// densities/endurances.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.samples_per_epoch == 0 || self.epochs == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "TrainingPlan",
+                reason: "need at least one epoch and one sample".into(),
+            });
+        }
+        if !(0.0 < self.update_density && self.update_density <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "update_density",
+                reason: format!("must be in (0, 1], got {}", self.update_density),
+            });
+        }
+        if self.write_verify_iterations == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "write_verify_iterations",
+                reason: "need at least one programming pulse".into(),
+            });
+        }
+        if !(self.endurance_cycles > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "endurance_cycles",
+                reason: "endurance must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The estimated cost of an on-chip training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingCost {
+    /// Total energy of all forward + backward passes.
+    pub compute_energy: Energy,
+    /// Total energy of all weight-update WRITE pulses.
+    pub write_energy: Energy,
+    /// Total (sequential) training time.
+    pub latency: Time,
+    /// Write cycles consumed per cell over the whole run.
+    pub writes_per_cell: f64,
+    /// Fraction of device endurance consumed (≥ 1.0 means the devices wear
+    /// out before training finishes).
+    pub endurance_consumed: f64,
+}
+
+impl TrainingCost {
+    /// Total energy (compute + writes).
+    pub fn total_energy(&self) -> Energy {
+        self.compute_energy + self.write_energy
+    }
+}
+
+/// Estimates the cost of on-chip training for `config`'s network.
+///
+/// Backward passes reuse the crossbars in the transposed direction, so one
+/// sample costs two forward-equivalent passes; the update phase programs
+/// `update_density × weights` cells sequentially per crossbar (cells of
+/// one crossbar must be written one at a time; crossbars program in
+/// parallel across units).
+///
+/// # Errors
+///
+/// Propagates configuration/simulation errors.
+pub fn estimate_training(config: &Config, plan: &TrainingPlan) -> Result<TrainingCost, CoreError> {
+    plan.validate()?;
+    let report: Report = simulate(config)?;
+
+    let steps = (plan.samples_per_epoch * plan.epochs) as f64;
+
+    // Forward + backward: two compute passes per sample.
+    let compute_energy = report.energy_per_sample * (2.0 * steps);
+    let compute_latency = report.sample_latency * (2.0 * steps);
+
+    // Updates: per step, each bank reprograms `density × weights` cells,
+    // each costing `write_verify` pulses. Units program in parallel, cells
+    // within a unit sequentially.
+    let mut write_energy = Energy::ZERO;
+    let mut write_latency = Time::ZERO;
+    let mut writes_per_cell_total = 0.0;
+    for bank in &report.accelerator.banks {
+        let weights =
+            (bank.partition.matrix_rows * bank.partition.matrix_cols) as f64;
+        let updates_per_step = weights * plan.update_density;
+        let pulses = updates_per_step * plan.write_verify_iterations as f64 * steps;
+        write_energy += bank.unit.write_access.dynamic_energy * pulses;
+        // Sequential within a unit; the bank's units work in parallel.
+        let cells_per_unit = updates_per_step / bank.unit_count as f64;
+        write_latency += bank.unit.write_access.latency
+            * (cells_per_unit * plan.write_verify_iterations as f64 * steps);
+        writes_per_cell_total +=
+            plan.update_density * plan.write_verify_iterations as f64 * steps;
+    }
+    let banks = report.accelerator.banks.len() as f64;
+    let writes_per_cell = writes_per_cell_total / banks;
+
+    Ok(TrainingCost {
+        compute_energy,
+        write_energy,
+        latency: compute_latency + write_latency,
+        writes_per_cell,
+        endurance_consumed: writes_per_cell / plan.endurance_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> Config {
+        Config::fully_connected_mlp(&[128, 64]).unwrap()
+    }
+
+    #[test]
+    fn plan_validation() {
+        assert!(TrainingPlan::default().validate().is_ok());
+        for bad in [
+            TrainingPlan {
+                epochs: 0,
+                ..TrainingPlan::default()
+            },
+            TrainingPlan {
+                update_density: 0.0,
+                ..TrainingPlan::default()
+            },
+            TrainingPlan {
+                update_density: 1.5,
+                ..TrainingPlan::default()
+            },
+            TrainingPlan {
+                write_verify_iterations: 0,
+                ..TrainingPlan::default()
+            },
+            TrainingPlan {
+                endurance_cycles: 0.0,
+                ..TrainingPlan::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn writes_dominate_training_energy() {
+        // The paper's §II.B motivation in reverse: once weights must be
+        // *updated* every step, the write cost dwarfs the compute cost.
+        let cost = estimate_training(&config(), &TrainingPlan::default()).unwrap();
+        assert!(
+            cost.write_energy.joules() > cost.compute_energy.joules(),
+            "writes {} J vs compute {} J",
+            cost.write_energy.joules(),
+            cost.compute_energy.joules()
+        );
+    }
+
+    #[test]
+    fn sparse_updates_cut_write_cost_proportionally() {
+        let dense = estimate_training(&config(), &TrainingPlan::default()).unwrap();
+        let sparse = estimate_training(
+            &config(),
+            &TrainingPlan {
+                update_density: 0.1,
+                ..TrainingPlan::default()
+            },
+        )
+        .unwrap();
+        let ratio = dense.write_energy.joules() / sparse.write_energy.joules();
+        assert!((ratio - 10.0).abs() < 1e-6, "ratio {ratio}");
+        // Compute cost is unchanged.
+        assert_eq!(
+            dense.compute_energy.joules(),
+            sparse.compute_energy.joules()
+        );
+    }
+
+    #[test]
+    fn endurance_accounting() {
+        let plan = TrainingPlan {
+            samples_per_epoch: 100,
+            epochs: 10,
+            update_density: 1.0,
+            write_verify_iterations: 3,
+            endurance_cycles: 6000.0,
+        };
+        let cost = estimate_training(&config(), &plan).unwrap();
+        // 1000 steps × 3 pulses = 3000 writes/cell; endurance 6000 → 50 %.
+        assert!((cost.writes_per_cell - 3000.0).abs() < 1e-9);
+        assert!((cost.endurance_consumed - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_energy_is_sum() {
+        let cost = estimate_training(&config(), &TrainingPlan::default()).unwrap();
+        assert!(
+            (cost.total_energy().joules()
+                - cost.compute_energy.joules()
+                - cost.write_energy.joules())
+            .abs()
+                < 1e-18
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Synthetic workload generation.
+//!
+//! The original experiments use MNIST/ImageNet-style inputs and a JPEG
+//! encoding task. Those datasets are not needed to exercise the simulator —
+//! the accuracy model is input-distribution-agnostic — so this module
+//! generates statistically similar stand-ins (documented substitution in
+//! `DESIGN.md`):
+//!
+//! * [`gaussian_clusters`] — separable classification data for classifier
+//!   training,
+//! * [`smooth_patches`] — 8×8 low-frequency image patches in `[0, 1]` for
+//!   the 64-16-64 autoencoding ("JPEG encoding") task,
+//! * [`random_weight_matrix`] / [`random_input_vector`] — the random
+//!   weight/input samples used by the SPICE validation (Table II uses 20
+//!   random weight matrices × 100 random inputs).
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Generates labelled Gaussian-cluster classification data.
+///
+/// Produces `classes × per_class` samples of dimension `dim` in `[0, 1]`,
+/// with one cluster centre per class and isotropic spread `sigma`.
+///
+/// # Panics
+///
+/// Panics if `classes`, `per_class` or `dim` is zero.
+pub fn gaussian_clusters(
+    classes: usize,
+    per_class: usize,
+    dim: usize,
+    sigma: f64,
+    rng: &mut impl Rng,
+) -> Vec<(Tensor, usize)> {
+    assert!(
+        classes > 0 && per_class > 0 && dim > 0,
+        "classes, per_class and dim must be positive"
+    );
+    let centres: Vec<Vec<f64>> = (0..classes)
+        .map(|_| (0..dim).map(|_| rng.gen_range(0.2..0.8)).collect())
+        .collect();
+    let mut samples = Vec::with_capacity(classes * per_class);
+    for (label, centre) in centres.iter().enumerate() {
+        for _ in 0..per_class {
+            let point: Vec<f64> = centre
+                .iter()
+                .map(|&c| (c + gaussian(rng) * sigma).clamp(0.0, 1.0))
+                .collect();
+            samples.push((Tensor::vector(&point), label));
+        }
+    }
+    samples
+}
+
+/// Generates `count` smooth 8×8 patches (flattened to 64 values in `[0,1]`).
+///
+/// Each patch is a random low-frequency 2-D cosine mixture — the same
+/// frequency content JPEG's DCT concentrates on, which is what makes the
+/// 64-16-64 autoencoder learnable.
+pub fn smooth_patches(count: usize, rng: &mut impl Rng) -> Vec<Tensor> {
+    (0..count)
+        .map(|_| {
+            // 3×3 low-frequency DCT coefficients.
+            let coeffs: Vec<f64> = (0..9).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut data = Vec::with_capacity(64);
+            for y in 0..8 {
+                for x in 0..8 {
+                    let mut v = 0.0;
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            let basis = (std::f64::consts::PI * ky as f64 * (y as f64 + 0.5)
+                                / 8.0)
+                                .cos()
+                                * (std::f64::consts::PI * kx as f64 * (x as f64 + 0.5) / 8.0)
+                                    .cos();
+                            v += coeffs[ky * 3 + kx] * basis;
+                        }
+                    }
+                    data.push(v);
+                }
+            }
+            // Normalize to [0, 1].
+            let (min, max) = data
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let span = (max - min).max(1e-12);
+            Tensor::vector(&data.iter().map(|v| (v - min) / span).collect::<Vec<_>>())
+        })
+        .collect()
+}
+
+/// A random weight matrix with entries in `[-1, 1]`, shape `(rows, cols)`.
+pub fn random_weight_matrix(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Tensor::from_vec(&[rows, cols], data).expect("shape matches data")
+}
+
+/// A random input vector with entries in `[0, 1]`, length `n`.
+pub fn random_input_vector(n: usize, rng: &mut impl Rng) -> Tensor {
+    Tensor::vector(&(0..n).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>())
+}
+
+/// Standard-normal sample via Box-Muller.
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clusters_have_expected_counts_and_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = gaussian_clusters(3, 10, 4, 0.05, &mut rng);
+        assert_eq!(data.len(), 30);
+        for (x, label) in &data {
+            assert_eq!(x.shape(), &[4]);
+            assert!(*label < 3);
+            assert!(x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn clusters_are_separable() {
+        // Same-class points must be closer to their own centroid than to
+        // the other centroid on average.
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = gaussian_clusters(2, 50, 8, 0.02, &mut rng);
+        let centroid = |label: usize| -> Vec<f64> {
+            let points: Vec<&Tensor> = data
+                .iter()
+                .filter(|(_, l)| *l == label)
+                .map(|(x, _)| x)
+                .collect();
+            let mut c = vec![0.0; 8];
+            for p in &points {
+                for (ci, v) in c.iter_mut().zip(p.data()) {
+                    *ci += v / points.len() as f64;
+                }
+            }
+            c
+        };
+        let c0 = centroid(0);
+        let c1 = centroid(1);
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        };
+        let mut correct = 0;
+        for (x, label) in &data {
+            let d0 = dist(x.data(), &c0);
+            let d1 = dist(x.data(), &c1);
+            let predicted = if d0 < d1 { 0 } else { 1 };
+            if predicted == *label {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / data.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn patches_are_normalized() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let patches = smooth_patches(20, &mut rng);
+        assert_eq!(patches.len(), 20);
+        for p in &patches {
+            assert_eq!(p.shape(), &[64]);
+            let min = p.data().iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = p.data().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(min >= 0.0 && max <= 1.0 + 1e-12);
+            assert!(max - min > 0.5, "patches should use most of the range");
+        }
+    }
+
+    #[test]
+    fn patches_are_smooth() {
+        // Neighbouring pixels should differ far less than the full range.
+        let mut rng = StdRng::seed_from_u64(21);
+        let patches = smooth_patches(10, &mut rng);
+        for p in &patches {
+            let mut total_step = 0.0;
+            let mut steps = 0;
+            for y in 0..8 {
+                for x in 0..7 {
+                    total_step += (p.data()[y * 8 + x + 1] - p.data()[y * 8 + x]).abs();
+                    steps += 1;
+                }
+            }
+            assert!(total_step / (steps as f64) < 0.35);
+        }
+    }
+
+    #[test]
+    fn random_matrices_and_vectors() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let w = random_weight_matrix(3, 5, &mut rng);
+        assert_eq!(w.shape(), &[3, 5]);
+        assert!(w.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        let x = random_input_vector(7, &mut rng);
+        assert_eq!(x.shape(), &[7]);
+        assert!(x.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(
+            random_weight_matrix(4, 4, &mut a).data(),
+            random_weight_matrix(4, 4, &mut b).data()
+        );
+    }
+}

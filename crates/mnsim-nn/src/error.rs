@@ -1,0 +1,76 @@
+//! Error types for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shapes are incompatible for the attempted operation.
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: Vec<usize>,
+        /// Shape actually provided.
+        actual: Vec<usize>,
+        /// The operation that failed.
+        operation: &'static str,
+    },
+    /// A layer was configured with invalid hyper-parameters.
+    InvalidLayer {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The network is empty or layers do not chain.
+    InvalidNetwork {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A quantizer was configured with an invalid range or precision.
+    InvalidQuantizer {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch {
+                expected,
+                actual,
+                operation,
+            } => write!(
+                f,
+                "shape mismatch in {operation}: expected {expected:?}, got {actual:?}"
+            ),
+            NnError::InvalidLayer { reason } => write!(f, "invalid layer: {reason}"),
+            NnError::InvalidNetwork { reason } => write!(f, "invalid network: {reason}"),
+            NnError::InvalidQuantizer { reason } => write!(f, "invalid quantizer: {reason}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_shapes() {
+        let e = NnError::ShapeMismatch {
+            expected: vec![3, 4],
+            actual: vec![4, 3],
+            operation: "matmul",
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul") && s.contains("[3, 4]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

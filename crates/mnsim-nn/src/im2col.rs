@@ -1,0 +1,189 @@
+//! Convolution as matrix-vector multiplication (paper §II.B-3).
+//!
+//! "The primary function of a Conv layer is the convolution kernel, which
+//! can also be regarded as vector-vector multiplication. Since multiple
+//! kernels in the same layer share the input vectors, multiple kernels can
+//! be regarded as matrix-vector multiplication." This module makes that
+//! mapping executable: [`im2col`] lowers each output position's receptive
+//! field to a column vector, [`kernel_matrix`] flattens the kernels into
+//! the weight matrix a crossbar stores, and [`conv_via_matvec`] runs the
+//! convolution as the sequence of matrix-vector products a computation
+//! bank performs — one per output pixel, which is exactly
+//! `BankDescriptor::ops_per_sample()`.
+
+use crate::error::NnError;
+use crate::layers::Conv2d;
+use crate::tensor::Tensor;
+
+/// Extracts the receptive field feeding output position `(oy, ox)` as a
+/// flat vector of length `in_channels · k²` (zero-padded out of bounds).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if the input is not 3-D with the
+/// convolution's channel count.
+pub fn im2col(
+    conv: &Conv2d,
+    input: &Tensor,
+    oy: usize,
+    ox: usize,
+) -> Result<Tensor, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 || shape[0] != conv.in_channels() {
+        return Err(NnError::ShapeMismatch {
+            expected: vec![conv.in_channels()],
+            actual: shape.to_vec(),
+            operation: "im2col",
+        });
+    }
+    let (h, w) = (shape[1], shape[2]);
+    let k = conv.kernel();
+    let mut column = Vec::with_capacity(conv.in_channels() * k * k);
+    for c in 0..conv.in_channels() {
+        for ky in 0..k {
+            let iy = (oy * conv.stride + ky) as isize - conv.padding as isize;
+            for kx in 0..k {
+                let ix = (ox * conv.stride + kx) as isize - conv.padding as isize;
+                let v = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                    0.0
+                } else {
+                    input.at3(c, iy as usize, ix as usize)
+                };
+                column.push(v);
+            }
+        }
+    }
+    Ok(Tensor::vector(&column))
+}
+
+/// Flattens the convolution kernels into the `(out_channels, in·k²)`
+/// weight matrix a crossbar block stores — the rows/cols that
+/// `BankDescriptor::matrix_rows()/matrix_cols()` report.
+pub fn kernel_matrix(conv: &Conv2d) -> Tensor {
+    let rows = conv.out_channels();
+    let cols = conv.in_channels() * conv.kernel() * conv.kernel();
+    Tensor::from_vec(&[rows, cols], conv.weights.data().to_vec())
+        .expect("kernel tensor is exactly rows × cols")
+}
+
+/// Runs the convolution as one matrix-vector product per output position.
+///
+/// Produces bit-identical results to [`Conv2d::forward`]; the tests verify
+/// this, establishing that the hardware's MVM view computes the same
+/// function as the algorithmic convolution.
+///
+/// # Errors
+///
+/// Same conditions as [`Conv2d::forward`].
+pub fn conv_via_matvec(conv: &Conv2d, input: &Tensor) -> Result<Tensor, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 || shape[0] != conv.in_channels() {
+        return Err(NnError::ShapeMismatch {
+            expected: vec![conv.in_channels()],
+            actual: shape.to_vec(),
+            operation: "conv_via_matvec",
+        });
+    }
+    let (oh, ow) = conv.output_hw(shape[1], shape[2]);
+    let matrix = kernel_matrix(conv);
+    let mut out = Tensor::zeros(&[conv.out_channels(), oh, ow]);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let column = im2col(conv, input, oy, ox)?;
+            let result = matrix.matvec(&column)?;
+            for (oc, v) in result.data().iter().enumerate() {
+                *out.at3_mut(oc, oy, ox) = v + conv.bias.data()[oc];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_conv(in_c: usize, out_c: usize, k: usize, stride: usize, pad: usize) -> Conv2d {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut conv = Conv2d::zeros(in_c, out_c, k, stride, pad).unwrap();
+        for w in conv.weights.data_mut() {
+            *w = rng.gen_range(-1.0..1.0);
+        }
+        for b in conv.bias.data_mut() {
+            *b = rng.gen_range(-0.5..0.5);
+        }
+        conv
+    }
+
+    fn random_input(c: usize, h: usize, w: usize) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(17);
+        let data = (0..c * h * w).map(|_| rng.gen_range(0.0..1.0)).collect();
+        Tensor::from_vec(&[c, h, w], data).unwrap()
+    }
+
+    #[test]
+    fn matvec_view_matches_direct_convolution() {
+        for (in_c, out_c, k, stride, pad, h) in [
+            (1usize, 1usize, 3usize, 1usize, 0usize, 6usize),
+            (3, 8, 3, 1, 1, 8),
+            (2, 4, 5, 2, 2, 9),
+            (4, 2, 1, 1, 0, 5),
+        ] {
+            let conv = random_conv(in_c, out_c, k, stride, pad);
+            let input = random_input(in_c, h, h);
+            let direct = conv.forward(&input).unwrap();
+            let via_matvec = conv_via_matvec(&conv, &input).unwrap();
+            assert_eq!(direct.shape(), via_matvec.shape());
+            for (a, b) in direct.data().iter().zip(via_matvec.data()) {
+                assert!((a - b).abs() < 1e-12, "{a} vs {b} (k={k}, s={stride}, p={pad})");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matrix_matches_bank_descriptor_geometry() {
+        use crate::descriptor::{BankDescriptor, ConvShape};
+        let conv = random_conv(3, 64, 3, 1, 1);
+        let matrix = kernel_matrix(&conv);
+        let bank = BankDescriptor::Conv {
+            shape: ConvShape {
+                in_channels: 3,
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                input_h: 32,
+                input_w: 32,
+            },
+            pooling: None,
+        };
+        // The crossbar stores the transpose view: matrix rows = bank
+        // matrix_cols (outputs), matrix cols = bank matrix_rows (inputs).
+        assert_eq!(matrix.shape()[0], bank.matrix_cols());
+        assert_eq!(matrix.shape()[1], bank.matrix_rows());
+    }
+
+    #[test]
+    fn im2col_zero_pads_borders() {
+        let conv = random_conv(1, 1, 3, 1, 1);
+        let input = random_input(1, 4, 4);
+        // Top-left output: the first row and column of the window fall in
+        // the padding.
+        let col = im2col(&conv, &input, 0, 0).unwrap();
+        assert_eq!(col.len(), 9);
+        assert_eq!(col.data()[0], 0.0); // (-1,-1)
+        assert_eq!(col.data()[1], 0.0); // (-1, 0)
+        assert_eq!(col.data()[3], 0.0); // ( 0,-1)
+        assert_eq!(col.data()[4], input.at3(0, 0, 0));
+    }
+
+    #[test]
+    fn shape_errors_rejected() {
+        let conv = random_conv(2, 1, 3, 1, 0);
+        let wrong = random_input(3, 5, 5);
+        assert!(im2col(&conv, &wrong, 0, 0).is_err());
+        assert!(conv_via_matvec(&conv, &wrong).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Hardware-error injection into quantized activations.
+//!
+//! The behavior-level accuracy model of `mnsim-core` predicts a *digital
+//! deviation*: by how many quantization levels a read value can differ from
+//! the ideal fixed-point result (paper Eqs. 12-14). This module applies such
+//! a deviation to real activations, which is how the application-level
+//! accuracy validation (the 64-16-64 autoencoder of §VII.A) turns the model
+//! prediction into an end-to-end quality number.
+
+use rand::Rng;
+
+use crate::quantize::Quantizer;
+use crate::tensor::Tensor;
+
+/// Perturbs every element of `tensor` by up to `max_deviation_levels`
+/// quantization levels (uniform over `-d ..= +d`, independent per element),
+/// then re-quantizes. Elements are clamped to the quantizer range.
+///
+/// `max_deviation_levels` may be fractional; the sampled deviation is
+/// rounded to the nearest whole level, so e.g. `0.4` perturbs only a
+/// fraction of the elements.
+pub fn inject_digital_deviation(
+    tensor: &Tensor,
+    quantizer: &Quantizer,
+    max_deviation_levels: f64,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let levels = quantizer.levels() as i64;
+    let data: Vec<f64> = tensor
+        .data()
+        .iter()
+        .map(|&v| {
+            let level = quantizer.level_of(v) as i64;
+            let deviation = (rng.gen_range(-1.0..=1.0) * max_deviation_levels).round() as i64;
+            let perturbed = (level + deviation).clamp(0, levels - 1);
+            quantizer.value_of(perturbed as u32)
+        })
+        .collect();
+    Tensor::from_vec(tensor.shape(), data).expect("shape preserved")
+}
+
+/// Relative accuracy of `actual` against `reference`, normalized by the
+/// reference full scale:
+///
+/// ```text
+/// accuracy = 1 − mean(|actual − reference|) / (max(reference) − min(reference))
+/// ```
+///
+/// This matches the paper's "Average Relative Accuracy (%)" metric in
+/// Table II (values near 95 %).
+///
+/// # Panics
+///
+/// Panics if the tensors have different shapes or the reference is
+/// constant (zero full scale).
+pub fn relative_accuracy(reference: &Tensor, actual: &Tensor) -> f64 {
+    assert_eq!(
+        reference.shape(),
+        actual.shape(),
+        "tensors must have identical shapes"
+    );
+    let (min, max) = reference
+        .data()
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let scale = max - min;
+    assert!(scale > 0.0, "reference tensor is constant");
+    let mean_abs: f64 = reference
+        .data()
+        .iter()
+        .zip(actual.data())
+        .map(|(r, a)| (r - a).abs())
+        .sum::<f64>()
+        / reference.len() as f64;
+    1.0 - mean_abs / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_deviation_is_pure_quantization() {
+        let q = Quantizer::unsigned_unit(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::vector(&[0.1, 0.5, 0.9]);
+        let out = inject_digital_deviation(&t, &q, 0.0, &mut rng);
+        assert_eq!(out, q.quantize_tensor(&t));
+    }
+
+    #[test]
+    fn deviation_is_bounded() {
+        let q = Quantizer::unsigned_unit(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::vector(&vec![0.5; 1000]);
+        let max_dev = 3.0;
+        let out = inject_digital_deviation(&t, &q, max_dev, &mut rng);
+        let bound = max_dev * q.step() + 1e-12;
+        for (&a, &b) in t.data().iter().zip(out.data()) {
+            assert!((a - b).abs() <= bound + q.step() / 2.0);
+        }
+    }
+
+    #[test]
+    fn deviation_actually_perturbs() {
+        let q = Quantizer::unsigned_unit(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::vector(&vec![0.5; 100]);
+        let out = inject_digital_deviation(&t, &q, 2.0, &mut rng);
+        let changed = t
+            .data()
+            .iter()
+            .zip(out.data())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 30, "only {changed} elements changed");
+    }
+
+    #[test]
+    fn clamping_at_range_edges() {
+        let q = Quantizer::unsigned_unit(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = Tensor::vector(&vec![0.0, 1.0]);
+        for _ in 0..50 {
+            let out = inject_digital_deviation(&t, &q, 5.0, &mut rng);
+            assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn relative_accuracy_perfect_and_degraded() {
+        let r = Tensor::vector(&[0.0, 0.5, 1.0]);
+        assert!((relative_accuracy(&r, &r) - 1.0).abs() < 1e-12);
+        let worse = Tensor::vector(&[0.1, 0.6, 0.9]);
+        let acc = relative_accuracy(&r, &worse);
+        assert!((acc - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn relative_accuracy_rejects_constant_reference() {
+        let r = Tensor::vector(&[0.5, 0.5]);
+        let _ = relative_accuracy(&r, &r);
+    }
+
+    #[test]
+    fn accuracy_decreases_with_deviation() {
+        let q = Quantizer::unsigned_unit(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = Tensor::vector(&(0..200).map(|i| i as f64 / 199.0).collect::<Vec<_>>());
+        let reference = q.quantize_tensor(&t);
+        let small = inject_digital_deviation(&t, &q, 1.0, &mut rng);
+        let large = inject_digital_deviation(&t, &q, 8.0, &mut rng);
+        let acc_small = relative_accuracy(&reference, &small);
+        let acc_large = relative_accuracy(&reference, &large);
+        assert!(acc_small > acc_large);
+        assert!(acc_small > 0.98);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests of the typed units and device models.
+
+use mnsim_tech::memristor::MemristorModel;
+use mnsim_tech::units::{Energy, Power, Resistance, Time, Voltage};
+use proptest::prelude::*;
+
+proptest! {
+    /// Power × Time and Energy ÷ Time are exact inverses.
+    #[test]
+    fn power_time_energy_inverse(w in 1e-9f64..1e3, s in 1e-12f64..1e3) {
+        let p = Power::from_watts(w);
+        let t = Time::from_seconds(s);
+        let e = p * t;
+        prop_assert!(((e / t).watts() - w).abs() < 1e-9 * w);
+        prop_assert!(((e / p).seconds() - s).abs() < 1e-9 * s);
+    }
+
+    /// Ohm's law chains are consistent: V = (V/R)·R.
+    #[test]
+    fn ohms_law_roundtrip(v in 1e-3f64..100.0, r in 1e-1f64..1e7) {
+        let voltage = Voltage::from_volts(v);
+        let resistance = Resistance::from_ohms(r);
+        let i = voltage / resistance;
+        prop_assert!(((i * resistance).volts() - v).abs() < 1e-9 * v);
+        let p = voltage * i;
+        prop_assert!((p.watts() - v * v / r).abs() < 1e-9 * (v * v / r));
+    }
+
+    /// Conductance-linear level spacing is monotone and inside the range
+    /// for every valid level of every bits-per-cell setting.
+    #[test]
+    fn memristor_levels_in_range(bits in 1u32..8, level_frac in 0.0f64..1.0) {
+        let mut device = MemristorModel::rram_default();
+        device.bits_per_cell = bits;
+        let level = (level_frac * (device.levels() - 1) as f64).floor() as u32;
+        let r = device.resistance_for_level(level);
+        prop_assert!(r.ohms() >= device.r_min.ohms() - 1e-9);
+        prop_assert!(r.ohms() <= device.r_max.ohms() + 1e-9);
+    }
+
+    /// The chord resistance under bias interpolates continuously: a small
+    /// bias change produces a small resistance change.
+    #[test]
+    fn chord_resistance_is_continuous(v in 0.01f64..1.0, r_kohm in 0.5f64..500.0) {
+        let device = MemristorModel::rram_default();
+        let state = Resistance::from_kilo_ohms(r_kohm);
+        let a = device.iv.chord_resistance(state, Voltage::from_volts(v)).ohms();
+        let b = device.iv.chord_resistance(state, Voltage::from_volts(v + 1e-6)).ohms();
+        prop_assert!((a - b).abs() < 1e-2 * a);
+    }
+
+    /// Energy sums are associative enough for aggregation purposes.
+    #[test]
+    fn energy_sum_associative(a in 0.0f64..1e-3, b in 0.0f64..1e-3, c in 0.0f64..1e-3) {
+        let (ea, eb, ec) = (
+            Energy::from_joules(a),
+            Energy::from_joules(b),
+            Energy::from_joules(c),
+        );
+        let left = (ea + eb) + ec;
+        let right = ea + (eb + ec);
+        prop_assert!((left.joules() - right.joules()).abs() < 1e-18);
+    }
+}

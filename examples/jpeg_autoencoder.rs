@@ -1,0 +1,92 @@
+//! End-to-end application accuracy: train the 64-16-64 autoencoder on
+//! smooth 8×8 patches (the paper's JPEG-encoding stand-in, §VII.A), then
+//! compare the accuracy model's prediction against noisy quantized
+//! inference.
+//!
+//! ```text
+//! cargo run --release --example jpeg_autoencoder
+//! ```
+
+use mnsim::core::accuracy::{propagate, AccuracyModel, Case};
+use mnsim::core::config::Config;
+use mnsim::nn::data::smooth_patches;
+use mnsim::nn::layers::Activation;
+use mnsim::nn::noise::{inject_digital_deviation, relative_accuracy};
+use mnsim::nn::quantize::Quantizer;
+use mnsim::nn::tensor::Tensor;
+use mnsim::nn::train::Mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Train the autoencoder.
+    let mut mlp = Mlp::random(
+        &[64, 16, 64],
+        Activation::Sigmoid,
+        Activation::Sigmoid,
+        &mut rng,
+    )?;
+    let patches = smooth_patches(64, &mut rng);
+    let train: Vec<(Tensor, Tensor)> = patches[..48]
+        .iter()
+        .map(|p| (p.clone(), p.clone()))
+        .collect();
+    let history = mlp.train(&train, 400, 0.8)?;
+    println!(
+        "trained 64-16-64 autoencoder: MSE {:.5} -> {:.5}",
+        history[0],
+        history.last().unwrap()
+    );
+
+    // Predict the per-layer deviation with the accuracy model.
+    let mut config = Config::fully_connected_mlp(&[64, 16, 64])?;
+    config.crossbar_size = 64;
+    let model = AccuracyModel::from_config(&config);
+    let epsilons = vec![
+        model.error_rate(64, 16, config.interconnect, &config.device, Case::Average),
+        model.error_rate(16, 64, config.interconnect, &config.device, Case::Average),
+    ];
+    let layers = propagate(&epsilons, config.output_levels());
+    println!("\nper-layer accuracy prediction:");
+    for (i, l) in layers.iter().enumerate() {
+        println!(
+            "  layer {i}: ε {:.3} %, avg deviation {:.3} levels, avg error {:.3} %",
+            l.crossbar_epsilon * 100.0,
+            l.avg_deviation,
+            l.avg_error_rate * 100.0
+        );
+    }
+
+    // Inject exactly the predicted deviations into quantized inference.
+    let quantizer = Quantizer::unsigned_unit(config.precision.output_bits)?;
+    let network = mlp.to_network();
+    let mut accuracy_sum = 0.0;
+    let test = &patches[48..];
+    for patch in test {
+        let clean = network.forward(&quantizer.quantize_tensor(patch))?;
+        let mut noisy = quantizer.quantize_tensor(patch);
+        for (layer_index, pair) in network.layers().chunks(2).enumerate() {
+            for layer in pair {
+                noisy = layer.forward(&noisy)?;
+            }
+            noisy = inject_digital_deviation(
+                &quantizer.quantize_tensor(&noisy),
+                &quantizer,
+                layers[layer_index].avg_deviation,
+                &mut rng,
+            );
+        }
+        accuracy_sum += relative_accuracy(&quantizer.quantize_tensor(&clean), &noisy);
+    }
+    let measured = accuracy_sum / test.len() as f64;
+    let predicted = 1.0 - layers.last().unwrap().avg_error_rate;
+    println!(
+        "\npredicted accuracy {:.2} %, measured accuracy {:.2} % (gap {:.2} points)",
+        predicted * 100.0,
+        measured * 100.0,
+        (predicted - measured).abs() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! On-chip training cost exploration (the paper's future-work item):
+//! compare inference-only deployment against on-chip SGD, and show how
+//! sparse updates and endurance limits shape the design.
+//!
+//! ```text
+//! cargo run --release --example onchip_training
+//! ```
+
+use mnsim::core::config::Config;
+use mnsim::core::memory_mode::evaluate_memory_mode;
+use mnsim::core::simulate::simulate;
+use mnsim::core::training::{estimate_training, TrainingPlan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = Config::fully_connected_mlp(&[784, 256, 10])?;
+    let inference = simulate(&config)?;
+    println!(
+        "inference: {:.3} µJ/sample, {:.3} µs/sample",
+        inference.energy_per_sample.microjoules(),
+        inference.sample_latency.microseconds()
+    );
+
+    println!("\non-chip training (1000 samples x 10 epochs):");
+    for density in [1.0, 0.1, 0.01] {
+        let plan = TrainingPlan {
+            update_density: density,
+            ..TrainingPlan::default()
+        };
+        let cost = estimate_training(&config, &plan)?;
+        println!(
+            "  update density {:>5.2}: total {:>10.3} mJ \
+             (compute {:>8.3} mJ, writes {:>9.3} mJ), {:>8.3} ms, \
+             {:>7.0} writes/cell, {:.4} % endurance",
+            density,
+            cost.total_energy().millijoules(),
+            cost.compute_energy.millijoules(),
+            cost.write_energy.millijoules(),
+            cost.latency.seconds() * 1e3,
+            cost.writes_per_cell,
+            cost.endurance_consumed * 100.0
+        );
+    }
+
+    // The same fabric as an NVSim-style memory macro (§III.E-4).
+    let memory = evaluate_memory_mode(&config, 16)?;
+    println!(
+        "\nmemory mode (16 arrays): {:.1} Mbit, {:.3} mm², \
+         read {:.1} ns / write {:.1} ns, {:.2} Gbit/s",
+        memory.capacity_bits as f64 / 1e6,
+        memory.area.square_millimeters(),
+        memory.read_latency.nanoseconds(),
+        memory.write_latency.nanoseconds(),
+        memory.read_bandwidth_bits_per_s / 1e9
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Spiking neural network on memristor crossbars (paper §II.B-2): train a
+//! small classifier, convert it to a rate-coded integrate-and-fire
+//! network, compare spiking accuracy against the analog network, and
+//! estimate the SNN accelerator's hardware cost.
+//!
+//! ```text
+//! cargo run --release --example snn_inference
+//! ```
+
+use mnsim::core::config::{Config, NetworkType};
+use mnsim::core::simulate::simulate;
+use mnsim::nn::data::gaussian_clusters;
+use mnsim::nn::layers::{Activation, FullyConnected};
+use mnsim::nn::snn::SpikingNetwork;
+use mnsim::nn::tensor::Tensor;
+use mnsim::nn::train::Mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2016);
+
+    // --- train a 16-d, 3-class classifier -----------------------------------
+    let data = gaussian_clusters(3, 60, 16, 0.06, &mut rng);
+    let mut mlp = Mlp::random(&[16, 24, 3], Activation::Relu, Activation::Sigmoid, &mut rng)?;
+    let train: Vec<(Tensor, Tensor)> = data
+        .iter()
+        .map(|(x, label)| {
+            let mut t = vec![0.0; 3];
+            t[*label] = 1.0;
+            (x.clone(), Tensor::vector(&t))
+        })
+        .collect();
+    mlp.train(&train, 200, 0.3)?;
+
+    let analog_accuracy = data
+        .iter()
+        .filter(|(x, label)| mlp.forward(x).unwrap().argmax() == *label)
+        .count() as f64
+        / data.len() as f64;
+    println!("analog (ANN) accuracy: {:.1} %", analog_accuracy * 100.0);
+
+    // --- convert to a rate-coded spiking network -----------------------------
+    let synapses: Vec<FullyConnected> = mlp
+        .to_network()
+        .layers()
+        .iter()
+        .filter_map(|layer| match layer {
+            mnsim::nn::layers::Layer::FullyConnected(fc) => Some(fc.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut snn = SpikingNetwork::new(synapses, 1.0)?;
+
+    for steps in [50usize, 200, 1000] {
+        let correct = data
+            .iter()
+            .filter(|(x, label)| {
+                snn.run(x, steps, &mut rng).unwrap().argmax() == *label
+            })
+            .count();
+        println!(
+            "spiking accuracy over {steps:>4} time steps: {:.1} %",
+            correct as f64 / data.len() as f64 * 100.0
+        );
+    }
+
+    // --- hardware cost of the SNN accelerator -------------------------------
+    let mut config = Config::fully_connected_mlp(&[16, 24, 3])?;
+    config.network_type = NetworkType::Snn; // integrate-and-fire neurons
+    config.crossbar_size = 32;
+    let report = simulate(&config)?;
+    println!(
+        "\nSNN accelerator: {:.4} mm², {:.4} µJ per time step, {:.4} µs per step",
+        report.total_area.square_millimeters(),
+        report.energy_per_sample.microjoules(),
+        report.sample_latency.microseconds()
+    );
+    println!(
+        "rate coding over 200 steps: {:.3} µJ, {:.2} µs per classification",
+        report.energy_per_sample.microjoules() * 200.0,
+        report.sample_latency.microseconds() * 200.0
+    );
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! # MNSIM-RS — simulation platform for memristor-based neuromorphic systems
+//!
+//! This is the facade crate of the MNSIM reproduction. It re-exports the four
+//! member crates under stable names:
+//!
+//! * [`tech`] — technology & device models ([`mnsim_tech`]),
+//! * [`circuit`] — SPICE-class DC circuit simulator ([`mnsim_circuit`]),
+//! * [`nn`] — neural-network substrate ([`mnsim_nn`]),
+//! * [`core`] — the MNSIM platform itself ([`mnsim_core`]).
+//!
+//! See the repository `README.md` for a tour and `examples/quickstart.rs`
+//! for a complete simulation run.
+//!
+//! # Examples
+//!
+//! ```
+//! use mnsim::core::config::Config;
+//! use mnsim::core::simulate::simulate;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = Config::fully_connected_mlp(&[128, 128, 128])?;
+//! let report = simulate(&config)?;
+//! assert!(report.total_area.square_millimeters() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mnsim_circuit as circuit;
+pub use mnsim_core as core;
+pub use mnsim_nn as nn;
+pub use mnsim_tech as tech;

@@ -1,0 +1,96 @@
+//! Integration tests of the Table-I configuration-file front end.
+
+use mnsim::core::config::{Config, NetworkType};
+use mnsim::core::error::CoreError;
+use mnsim::core::simulate::simulate;
+use mnsim::tech::cmos::CmosNode;
+use mnsim::tech::interconnect::InterconnectNode;
+use mnsim::tech::memristor::{CellType, DeviceKind};
+
+#[test]
+fn paper_table_i_defaults_parse_and_simulate() {
+    let text = "\
+# Table I of the paper, spelled out
+Network_Depth = 2
+Network_Scale = 128x128, 128x128
+Interface_Number = [128, 128]
+Network_Type = ANN
+Crossbar_Size = 128
+Pooling_Size = 2
+Spacial_Size = 1
+Weight_Polarity = 2
+CMOS_Tech = 90nm
+Cell_Type = 1T1R
+Memristor_Model = RRAM
+Interconnect_Tech = 28nm
+Parallelism_Degree = 0
+Resistance_Range = [500 500k]
+";
+    let config = Config::from_text(text).unwrap();
+    assert_eq!(config.network.depth(), 2);
+    assert_eq!(config.cmos, CmosNode::N90);
+    assert_eq!(config.interconnect, InterconnectNode::N28);
+    assert_eq!(config.device.kind, DeviceKind::Rram);
+    assert_eq!(config.device.cell_type, CellType::OneT1R);
+    assert_eq!(config.device.r_min.ohms(), 500.0);
+    assert_eq!(config.device.r_max.ohms(), 500_000.0);
+
+    let report = simulate(&config).unwrap();
+    assert!(report.total_area.square_millimeters() > 0.0);
+}
+
+#[test]
+fn comments_and_blank_lines_are_ignored() {
+    let text = "\n; semicolon comment\n* star comment\n# hash comment\nCrossbar_Size = 64\n\n";
+    let config = Config::from_text(text).unwrap();
+    assert_eq!(config.crossbar_size, 64);
+}
+
+#[test]
+fn pcm_and_0t1r_parse() {
+    let config =
+        Config::from_text("Memristor_Model = PCM\nCell_Type = 0T1R\n").unwrap();
+    assert_eq!(config.device.kind, DeviceKind::Pcm);
+    assert_eq!(config.device.cell_type, CellType::ZeroT1R);
+}
+
+#[test]
+fn cnn_network_type_parses() {
+    let config = Config::from_text("Network_Type = CNN\n").unwrap();
+    assert_eq!(config.network_type, NetworkType::Cnn);
+}
+
+#[test]
+fn malformed_files_are_rejected_with_line_numbers() {
+    for (text, expected_line) in [
+        ("Crossbar_Size 128\n", 1),
+        ("Crossbar_Size = 128\nInterface_Number = [1]\n", 2),
+        ("CMOS_Tech = 33nm\n", 0), // tech error, no parse line
+        ("Network_Scale = 12y34\n", 1),
+    ] {
+        match Config::from_text(text) {
+            Err(CoreError::ConfigParse { line, .. }) => {
+                assert_eq!(line, expected_line, "for {text:?}")
+            }
+            Err(CoreError::Tech(_)) => assert_eq!(expected_line, 0, "for {text:?}"),
+            other => panic!("expected error for {text:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn invalid_semantics_are_rejected_after_parsing() {
+    // Parses fine, fails validation: parallelism above crossbar size.
+    let text = "Crossbar_Size = 32\nParallelism_Degree = 64\n";
+    assert!(matches!(
+        Config::from_text(text),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn resistance_magnitude_suffixes() {
+    let config = Config::from_text("Resistance_Range = [1k 2M]\n").unwrap();
+    assert_eq!(config.device.r_min.ohms(), 1_000.0);
+    assert_eq!(config.device.r_max.ohms(), 2_000_000.0);
+}

@@ -1,0 +1,122 @@
+//! Cross-crate integration: configuration → hierarchy evaluation →
+//! accuracy propagation → reporting, plus the instruction-set replay and
+//! the customization paths.
+
+use mnsim::core::config::{Config, NetworkType, SignedMapping, WeightPolarity};
+use mnsim::core::instruction::{execute, Instruction, Program};
+use mnsim::core::report::format_report;
+use mnsim::core::simulate::simulate;
+use mnsim::nn::models;
+use mnsim::tech::cmos::CmosNode;
+use mnsim::tech::interconnect::InterconnectNode;
+
+#[test]
+fn full_flow_for_every_network_type() {
+    for (network_type, network) in [
+        (NetworkType::Ann, models::mlp(&[256, 128, 64]).unwrap()),
+        (NetworkType::Snn, models::mlp(&[128, 128]).unwrap()),
+        (NetworkType::Cnn, models::caffenet()),
+    ] {
+        let mut config = Config::for_network(network);
+        config.network_type = network_type;
+        let report = simulate(&config).expect("simulation succeeds");
+        assert!(report.total_area.square_meters() > 0.0, "{network_type}");
+        assert!(report.energy_per_sample.joules() > 0.0, "{network_type}");
+        assert!(report.sample_latency.seconds() > 0.0, "{network_type}");
+        assert!(
+            report.pipeline_cycle.seconds() <= report.sample_latency.seconds(),
+            "{network_type}"
+        );
+        let text = format_report(&report);
+        assert!(text.contains("area"), "{network_type}");
+    }
+}
+
+#[test]
+fn config_knobs_move_metrics_in_the_documented_direction() {
+    let base = Config::fully_connected_mlp(&[1024, 1024]).unwrap();
+    let base_report = simulate(&base).unwrap();
+
+    // Finer CMOS shrinks area and speeds up the periphery.
+    let mut fine = base.clone();
+    fine.cmos = CmosNode::N32;
+    let fine_report = simulate(&fine).unwrap();
+    assert!(fine_report.total_area.square_meters() < base_report.total_area.square_meters());
+
+    // Coarser wires improve accuracy.
+    let mut coarse_wire = base.clone();
+    coarse_wire.interconnect = InterconnectNode::N90;
+    let coarse_report = simulate(&coarse_wire).unwrap();
+    assert!(coarse_report.worst_crossbar_epsilon < base_report.worst_crossbar_epsilon);
+
+    // Unsigned weights halve the crossbars.
+    let mut unsigned = base.clone();
+    unsigned.weight_polarity = WeightPolarity::Unsigned;
+    let unsigned_report = simulate(&unsigned).unwrap();
+    assert!(
+        unsigned_report.total_area.square_meters() < base_report.total_area.square_meters()
+    );
+
+    // Shared-crossbar signed mapping needs more column blocks but fewer
+    // crossbar copies; both mappings must at least evaluate.
+    let mut shared = base.clone();
+    shared.signed_mapping = SignedMapping::SharedCrossbar;
+    let shared_report = simulate(&shared).unwrap();
+    assert!(shared_report.total_area.square_meters() > 0.0);
+}
+
+#[test]
+fn instruction_replay_matches_bank_metrics() {
+    let config = Config::fully_connected_mlp(&[256, 256]).unwrap();
+    let report = simulate(&config).unwrap();
+
+    let mut program = Program::new();
+    program.push(Instruction::Compute { bank: 0 });
+    let cost = execute(&report, &program).unwrap();
+    assert_eq!(
+        cost.latency.seconds(),
+        report.accelerator.banks[0].cycle.latency.seconds()
+    );
+    assert_eq!(
+        cost.energy.joules(),
+        report.accelerator.banks[0].cycle.dynamic_energy.joules()
+    );
+}
+
+#[test]
+fn caffenet_and_vgg_have_expected_bank_counts() {
+    let caffenet = Config::for_network(models::caffenet());
+    let vgg = Config::vgg16_cnn();
+    assert_eq!(simulate(&caffenet).unwrap().accelerator.banks.len(), 8);
+    assert_eq!(simulate(&vgg).unwrap().accelerator.banks.len(), 16);
+}
+
+#[test]
+fn snn_and_ann_differ_only_in_neurons() {
+    let mut ann = Config::fully_connected_mlp(&[512, 512]).unwrap();
+    ann.network_type = NetworkType::Ann;
+    let mut snn = ann.clone();
+    snn.network_type = NetworkType::Snn;
+    let ann_report = simulate(&ann).unwrap();
+    let snn_report = simulate(&snn).unwrap();
+    // Same crossbar fabric → identical accuracy; different neuron
+    // circuits → different area.
+    assert_eq!(
+        ann_report.worst_crossbar_epsilon,
+        snn_report.worst_crossbar_epsilon
+    );
+    assert_ne!(
+        ann_report.total_area.square_meters(),
+        snn_report.total_area.square_meters()
+    );
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let config = Config::fully_connected_mlp(&[300, 200, 100]).unwrap();
+    let a = simulate(&config).unwrap();
+    let b = simulate(&config).unwrap();
+    assert_eq!(a.total_area.square_meters(), b.total_area.square_meters());
+    assert_eq!(a.energy_per_sample.joules(), b.energy_per_sample.joules());
+    assert_eq!(a.output_max_error_rate, b.output_max_error_rate);
+}

@@ -1,0 +1,153 @@
+//! Failure-injection tests: every layer must fail loudly and typed, never
+//! silently produce garbage.
+
+use mnsim::circuit::cg::{solve_cg, CgOptions};
+use mnsim::circuit::sparse::TripletMatrix;
+use mnsim::circuit::solve::{solve_dc, SolveOptions};
+use mnsim::circuit::{Circuit, CircuitError};
+use mnsim::core::config::Config;
+use mnsim::core::dse::{explore, Constraints, DesignSpace};
+use mnsim::core::error::CoreError;
+use mnsim::core::simulate::simulate;
+use mnsim::tech::memristor::IvModel;
+use mnsim::tech::units::{Resistance, Voltage};
+
+#[test]
+fn floating_node_reports_singular_system() {
+    // A node connected only through a capacitor is floating at DC.
+    let mut c = Circuit::new();
+    let a = c.add_node();
+    let floating = c.add_node();
+    c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(1.0))
+        .unwrap();
+    c.add_resistor(a, Circuit::GROUND, Resistance::from_ohms(100.0))
+        .unwrap();
+    c.add_capacitor(
+        floating,
+        Circuit::GROUND,
+        mnsim::tech::units::Capacitance::from_picofarads(1.0),
+    )
+    .unwrap();
+    // The floating node has a zero row → singular.
+    let result = solve_dc(&c, &SolveOptions::default());
+    assert!(
+        matches!(result, Err(CircuitError::SingularSystem { .. })),
+        "{result:?}"
+    );
+}
+
+#[test]
+fn newton_budget_exhaustion_is_typed() {
+    let mut c = Circuit::new();
+    let a = c.add_node();
+    c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(1.0))
+        .unwrap();
+    c.add_memristor(
+        a,
+        Circuit::GROUND,
+        Resistance::from_kilo_ohms(1.0),
+        IvModel::Sinh { alpha: 3.0 },
+    )
+    .unwrap();
+    let options = SolveOptions {
+        newton_max_iterations: 0,
+        ..SolveOptions::default()
+    };
+    assert!(matches!(
+        solve_dc(&c, &options),
+        Err(CircuitError::NewtonNoConvergence { .. })
+    ));
+}
+
+#[test]
+fn cg_iteration_starvation_is_typed() {
+    let mut t = TripletMatrix::new(50, 50);
+    for i in 0..50 {
+        t.add(i, i, 2.0);
+        if i > 0 {
+            t.add(i, i - 1, -1.0);
+            t.add(i - 1, i, -1.0);
+        }
+    }
+    let options = CgOptions {
+        tolerance: 1e-14,
+        max_iterations: 1,
+    };
+    assert!(matches!(
+        solve_cg(&t.to_csr(), &[1.0; 50], &options),
+        Err(CircuitError::LinearNoConvergence { .. })
+    ));
+}
+
+#[test]
+fn over_constrained_dse_is_typed() {
+    let base = Config::fully_connected_mlp(&[256, 256]).unwrap();
+    let space = DesignSpace {
+        crossbar_sizes: vec![128],
+        parallelism_degrees: vec![1],
+        interconnects: vec![mnsim::tech::interconnect::InterconnectNode::N18],
+    };
+    // Impossible: area below a square millimetre AND error near zero.
+    let constraints = Constraints {
+        max_crossbar_error: Some(1e-6),
+        max_area_mm2: Some(0.0001),
+        max_power_w: None,
+    };
+    assert!(matches!(
+        explore(&base, &space, &constraints),
+        Err(CoreError::EmptyDesignSpace { .. })
+    ));
+}
+
+#[test]
+fn broken_device_is_rejected_before_simulation() {
+    let mut config = Config::fully_connected_mlp(&[64, 64]).unwrap();
+    config.device.r_min = Resistance::from_ohms(-5.0);
+    match simulate(&config) {
+        Err(CoreError::Tech(_)) => {}
+        other => panic!("expected a tech-layer error, got {other:?}"),
+    }
+}
+
+#[test]
+fn error_chain_preserves_sources() {
+    use std::error::Error as _;
+    let mut config = Config::fully_connected_mlp(&[64, 64]).unwrap();
+    config.device.sigma = 0.9; // out of the 0..=0.3 range
+    let err = simulate(&config).unwrap_err();
+    // Displayable, with a source chain reaching the tech layer.
+    assert!(err.to_string().contains("sigma"));
+    assert!(err.source().is_some());
+}
+
+#[test]
+fn program_against_wrong_network_is_typed() {
+    use mnsim::core::instruction::{execute, Instruction, Program};
+    let config = Config::fully_connected_mlp(&[64, 64]).unwrap();
+    let report = simulate(&config).unwrap();
+    let mut program = Program::new();
+    program.push(Instruction::Write { bank: 3 });
+    assert!(matches!(
+        execute(&report, &program),
+        Err(CoreError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn transient_mis_windows_are_typed() {
+    use mnsim::circuit::transient::{solve_transient, TransientOptions};
+    use mnsim::tech::units::Time;
+    let mut c = Circuit::new();
+    let a = c.add_node();
+    c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(1.0))
+        .unwrap();
+    c.add_resistor(a, Circuit::GROUND, Resistance::from_ohms(1.0))
+        .unwrap();
+    let options = TransientOptions {
+        t_stop: Time::from_nanoseconds(1.0),
+        dt: Time::from_nanoseconds(0.0),
+        dc: SolveOptions::default(),
+        newton_steps_per_dt: 1,
+    };
+    assert!(solve_transient(&c, &options).is_err());
+}
