@@ -20,11 +20,37 @@
 //! voltage of node `b(M−1, j)`. Column `N−1` is the farthest from the
 //! drivers — the paper's worst-case column.
 
+use mnsim_tech::fault::{CellFault, FaultMap};
 use mnsim_tech::memristor::IvModel;
 use mnsim_tech::units::{Resistance, Voltage};
 
 use crate::error::CircuitError;
-use crate::mna::{Circuit, DcSolution, NodeId};
+use crate::mna::{non_positive, Circuit, DcSolution, NodeId};
+
+/// Resistance standing in for an open (broken) wire segment.
+///
+/// Broken word/bit lines are modeled as a near-open resistor rather than by
+/// removing the segment: element removal would leave genuinely floating
+/// nodes and a singular nodal matrix, whereas 1 TΩ makes the downstream
+/// cells electrically negligible (12 orders above any cell state) while
+/// keeping the system solvable — at the cost of severe conditioning, which
+/// is exactly what [`crate::recovery::solve_robust`] exists to absorb.
+pub const OPEN_SEGMENT_RESISTANCE: Resistance = Resistance::from_ohms(1e12);
+
+/// Hard-defect overlay applied to a crossbar netlist at build time.
+///
+/// The [`FaultMap`] says *which* cells and lines are defective; the overlay
+/// adds the device-specific resistances stuck cells are pinned to (the
+/// technology's HRS/LRS corner values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultOverlay {
+    /// The defect map; its geometry must match the spec's `rows × cols`.
+    pub map: FaultMap,
+    /// Resistance pinned onto stuck-at-HRS cells.
+    pub hrs: Resistance,
+    /// Resistance pinned onto stuck-at-LRS cells.
+    pub lrs: Resistance,
+}
 
 /// Specification of a crossbar instance to build.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +69,8 @@ pub struct CrossbarSpec {
     pub iv: IvModel,
     /// Input voltage of every word line (`rows` entries).
     pub inputs: Vec<Voltage>,
+    /// Optional hard-defect overlay (stuck cells, broken lines).
+    pub faults: Option<FaultOverlay>,
 }
 
 impl CrossbarSpec {
@@ -64,7 +92,14 @@ impl CrossbarSpec {
             states: vec![state; rows * cols],
             iv: IvModel::Linear,
             inputs: vec![input; rows],
+            faults: None,
         }
+    }
+
+    /// Returns this spec with a hard-defect overlay attached.
+    pub fn with_faults(mut self, map: FaultMap, hrs: Resistance, lrs: Resistance) -> Self {
+        self.faults = Some(FaultOverlay { map, hrs, lrs });
+        self
     }
 
     /// Validates shapes and values.
@@ -94,15 +129,29 @@ impl CrossbarSpec {
                 what: "crossbar input vector length",
             });
         }
-        if !(self.wire_resistance.ohms() > 0.0) || !(self.sense_resistance.ohms() > 0.0) {
+        if non_positive(self.wire_resistance.ohms()) || non_positive(self.sense_resistance.ohms()) {
             return Err(CircuitError::InvalidElement {
                 reason: "wire and sense resistances must be positive".into(),
             });
         }
-        if self.states.iter().any(|s| !(s.ohms() > 0.0)) {
+        if self.states.iter().any(|s| non_positive(s.ohms())) {
             return Err(CircuitError::InvalidElement {
                 reason: "all cell state resistances must be positive".into(),
             });
+        }
+        if let Some(overlay) = &self.faults {
+            if overlay.map.rows != self.rows || overlay.map.cols != self.cols {
+                return Err(CircuitError::DimensionMismatch {
+                    expected: self.rows * self.cols,
+                    actual: overlay.map.rows * overlay.map.cols,
+                    what: "fault map geometry",
+                });
+            }
+            if non_positive(overlay.hrs.ohms()) || non_positive(overlay.lrs.ohms()) {
+                return Err(CircuitError::InvalidElement {
+                    reason: "fault overlay HRS/LRS resistances must be positive".into(),
+                });
+            }
         }
         Ok(())
     }
@@ -115,6 +164,27 @@ impl CrossbarSpec {
     pub fn state(&self, row: usize, col: usize) -> Resistance {
         assert!(row < self.rows && col < self.cols, "cell index out of range");
         self.states[row * self.cols + col]
+    }
+
+    /// The resistance cell `(row, col)` actually presents, after the fault
+    /// overlay (if any) pins stuck cells and scales drifted ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn effective_state(&self, row: usize, col: usize) -> Resistance {
+        let programmed = self.state(row, col);
+        let Some(overlay) = &self.faults else {
+            return programmed;
+        };
+        match overlay.map.cells.get(&(row, col)) {
+            Some(CellFault::StuckAtHrs) => overlay.hrs,
+            Some(CellFault::StuckAtLrs) => overlay.lrs,
+            Some(CellFault::Drifted { factor }) => {
+                Resistance::from_ohms(programmed.ohms() * factor)
+            }
+            None => programmed,
+        }
     }
 
     /// Builds the circuit netlist.
@@ -137,19 +207,36 @@ impl CrossbarSpec {
         let w = |i: usize, j: usize| word_nodes[i * n + j];
         let b = |i: usize, j: usize| bit_nodes[i * n + j];
 
+        // Broken lines swap the wire (or sense) resistance for a near-open
+        // resistor; see [`OPEN_SEGMENT_RESISTANCE`].
+        let map = self.faults.as_ref().map(|overlay| &overlay.map);
+        let word_segment = |i: usize, seg: usize| -> Resistance {
+            match map.and_then(|m| m.broken_wordlines.get(&i)) {
+                Some(&broken) if broken == seg => OPEN_SEGMENT_RESISTANCE,
+                _ => self.wire_resistance,
+            }
+        };
+        let bit_segment = |j: usize, seg: usize| -> Resistance {
+            match map.and_then(|m| m.broken_bitlines.get(&j)) {
+                Some(&broken) if broken == seg => OPEN_SEGMENT_RESISTANCE,
+                _ => self.wire_resistance,
+            }
+        };
+
         for (i, &source) in source_nodes.iter().enumerate() {
             circuit.add_voltage_source(source, Circuit::GROUND, self.inputs[i])?;
-            // Driver → first word-line node, then along the row.
-            circuit.add_resistor(source, w(i, 0), self.wire_resistance)?;
+            // Driver → first word-line node (segment 0), then along the row.
+            circuit.add_resistor(source, w(i, 0), word_segment(i, 0))?;
             for j in 1..n {
-                circuit.add_resistor(w(i, j - 1), w(i, j), self.wire_resistance)?;
+                circuit.add_resistor(w(i, j - 1), w(i, j), word_segment(i, j))?;
             }
         }
 
         let mut cell_elements = Vec::with_capacity(m * n);
         for i in 0..m {
             for j in 0..n {
-                let idx = circuit.add_memristor(w(i, j), b(i, j), self.state(i, j), self.iv)?;
+                let idx =
+                    circuit.add_memristor(w(i, j), b(i, j), self.effective_state(i, j), self.iv)?;
                 cell_elements.push(idx);
             }
         }
@@ -157,12 +244,16 @@ impl CrossbarSpec {
         let mut sense_elements = Vec::with_capacity(n);
         let mut output_nodes = Vec::with_capacity(n);
         for j in 0..n {
-            // Bit line runs down the column.
+            // Bit line runs down the column (segments 1..m, foot = m).
             for i in 1..m {
-                circuit.add_resistor(b(i - 1, j), b(i, j), self.wire_resistance)?;
+                circuit.add_resistor(b(i - 1, j), b(i, j), bit_segment(j, i))?;
             }
             let out = b(m - 1, j);
-            let idx = circuit.add_resistor(out, Circuit::GROUND, self.sense_resistance)?;
+            let sense = match map.and_then(|fm| fm.broken_bitlines.get(&j)) {
+                Some(&broken) if broken >= m => OPEN_SEGMENT_RESISTANCE,
+                _ => self.sense_resistance,
+            };
+            let idx = circuit.add_resistor(out, Circuit::GROUND, sense)?;
             sense_elements.push(idx);
             output_nodes.push(out);
         }
@@ -180,15 +271,25 @@ impl CrossbarSpec {
     /// Ideal output voltages: zero wire resistance, linear cells.
     ///
     /// This is the closed-form result of the paper's Eq. (2): for column
-    /// `j`, `V_out = Σ_i V_i·g_ij / (g_s + Σ_i g_ij)`.
+    /// `j`, `V_out = Σ_i V_i·g_ij / (g_s + Σ_i g_ij)`. With a fault overlay,
+    /// stuck and drifted cells use their effective resistance, cells
+    /// isolated by a broken line drop out of both sums, and a column whose
+    /// sense resistor is detached reads zero.
     pub fn ideal_output_voltages(&self) -> Vec<Voltage> {
         let gs = 1.0 / self.sense_resistance.ohms();
+        let map = self.faults.as_ref().map(|overlay| &overlay.map);
         (0..self.cols)
             .map(|j| {
+                if map.is_some_and(|m| m.sense_detached(j)) {
+                    return Voltage::from_volts(0.0);
+                }
                 let mut num = 0.0;
                 let mut den = gs;
                 for i in 0..self.rows {
-                    let g = 1.0 / self.state(i, j).ohms();
+                    if map.is_some_and(|m| m.is_isolated(i, j)) {
+                        continue;
+                    }
+                    let g = 1.0 / self.effective_state(i, j).ohms();
                     num += self.inputs[i].volts() * g;
                     den += g;
                 }
@@ -407,6 +508,98 @@ mod tests {
                 assert!(i > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn fault_overlay_pins_stuck_cells() {
+        use mnsim_tech::fault::{CellFault, FaultMap};
+        let mut map = FaultMap::empty(2, 2);
+        map.cells.insert((0, 0), CellFault::StuckAtLrs);
+        map.cells.insert((1, 1), CellFault::StuckAtHrs);
+        map.cells.insert((0, 1), CellFault::Drifted { factor: 2.0 });
+        let spec = tiny_spec().with_faults(
+            map,
+            Resistance::from_kilo_ohms(500.0),
+            Resistance::from_ohms(500.0),
+        );
+        assert_eq!(spec.effective_state(0, 0).ohms(), 500.0);
+        assert_eq!(spec.effective_state(1, 1).ohms(), 500.0e3);
+        assert_eq!(spec.effective_state(0, 1).ohms(), 20.0e3);
+        assert_eq!(spec.effective_state(1, 0).ohms(), 10.0e3);
+        // An LRS-stuck cell in column 0 pulls that output up.
+        let xbar = spec.build().unwrap();
+        let sol = solve_dc(xbar.circuit(), &SolveOptions::default()).unwrap();
+        let faulty = xbar.output_voltages(&sol);
+        let clean_xbar = tiny_spec().build().unwrap();
+        let clean_sol = solve_dc(clean_xbar.circuit(), &SolveOptions::default()).unwrap();
+        let clean = clean_xbar.output_voltages(&clean_sol);
+        assert!(faulty[0].volts() > clean[0].volts());
+    }
+
+    #[test]
+    fn broken_wordline_starves_downstream_cells() {
+        use mnsim_tech::fault::FaultMap;
+        let mut map = FaultMap::empty(2, 2);
+        // Row 0 broken at segment 0: the whole row is disconnected.
+        map.broken_wordlines.insert(0, 0);
+        let spec = tiny_spec().with_faults(
+            map,
+            Resistance::from_kilo_ohms(500.0),
+            Resistance::from_ohms(500.0),
+        );
+        let xbar = spec.build().unwrap();
+        let sol = solve_dc(xbar.circuit(), &SolveOptions::default()).unwrap();
+        let faulty = xbar.output_voltages(&sol);
+        let clean_xbar = tiny_spec().build().unwrap();
+        let clean_sol = solve_dc(clean_xbar.circuit(), &SolveOptions::default()).unwrap();
+        let clean = clean_xbar.output_voltages(&clean_sol);
+        // Half the drive current is gone; both columns sag well below clean.
+        for (f, c) in faulty.iter().zip(&clean) {
+            assert!(f.volts() < 0.7 * c.volts(), "{} !< 0.7·{}", f.volts(), c.volts());
+        }
+        // Ideal model agrees qualitatively.
+        let ideal = xbar.spec().ideal_output_voltages();
+        assert!(ideal[0].volts() < clean[0].volts());
+    }
+
+    #[test]
+    fn detached_sense_reads_near_zero() {
+        use mnsim_tech::fault::FaultMap;
+        let mut map = FaultMap::empty(2, 2);
+        map.broken_bitlines.insert(1, 2); // seg == rows: sense leg open
+        let spec = tiny_spec().with_faults(
+            map,
+            Resistance::from_kilo_ohms(500.0),
+            Resistance::from_ohms(500.0),
+        );
+        assert_eq!(spec.ideal_output_voltages()[1].volts(), 0.0);
+        let xbar = spec.build().unwrap();
+        let sol = solve_dc(xbar.circuit(), &SolveOptions::default()).unwrap();
+        // With the sense resistor near-open the column floats to the input
+        // level instead of dividing — either way the *sensed current* is
+        // negligible.
+        let i = sol.element_current(xbar.sense_element(1)).amperes();
+        assert!(i.abs() < 1e-9, "sense current {i}");
+    }
+
+    #[test]
+    fn fault_overlay_geometry_must_match() {
+        use mnsim_tech::fault::FaultMap;
+        let spec = tiny_spec().with_faults(
+            FaultMap::empty(3, 3),
+            Resistance::from_kilo_ohms(500.0),
+            Resistance::from_ohms(500.0),
+        );
+        assert!(matches!(
+            spec.validate(),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
+        let spec = tiny_spec().with_faults(
+            FaultMap::empty(2, 2),
+            Resistance::from_ohms(0.0),
+            Resistance::from_ohms(500.0),
+        );
+        assert!(spec.validate().is_err());
     }
 
     #[test]

@@ -89,8 +89,7 @@ impl DenseMatrix {
 
             let pk = perm[k];
             let diag = self[(pk, k)];
-            for i in (k + 1)..n {
-                let pi = perm[i];
+            for &pi in &perm[(k + 1)..n] {
                 let factor = self[(pi, k)] / diag;
                 if factor == 0.0 {
                     continue;

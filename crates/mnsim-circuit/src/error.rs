@@ -55,6 +55,12 @@ pub enum CircuitError {
         /// Description of the problem.
         reason: String,
     },
+    /// A solver produced NaN or infinite node voltages / branch currents —
+    /// numerically meaningless output that must not be used.
+    NonFiniteSolution {
+        /// Which solver stage produced the values (e.g. "cg", "dense-lu").
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -87,6 +93,9 @@ impl fmt::Display for CircuitError {
             } => write!(f, "{what}: expected {expected}, got {actual}"),
             CircuitError::NetlistParse { line, reason } => {
                 write!(f, "netlist parse error at line {line}: {reason}")
+            }
+            CircuitError::NonFiniteSolution { stage } => {
+                write!(f, "solver stage `{stage}` produced non-finite voltages or currents")
             }
         }
     }

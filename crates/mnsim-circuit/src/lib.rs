@@ -11,7 +11,11 @@
 //!   non-linear memristor cells,
 //! * [`crossbar`] — memristor-crossbar netlist construction matching the
 //!   paper's resistor-network model (cells + `2MN` wire segments + sensing
-//!   resistors),
+//!   resistors), with optional hard-defect overlays (stuck cells, broken
+//!   lines),
+//! * [`recovery`] — a fault-tolerant solve ladder (`solve_robust`) that
+//!   escalates CG → relaxed CG → dense LU and reports how the answer was
+//!   obtained,
 //! * [`transient`] — backward-Euler transient analysis (RC settling),
 //! * [`netlist`] — SPICE netlist export/import.
 //!
@@ -45,6 +49,8 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library code must surface failures as typed errors; tests may unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cg;
 pub mod crossbar;
@@ -52,12 +58,14 @@ pub mod dense;
 pub mod error;
 pub mod mna;
 pub mod netlist;
+pub mod recovery;
 pub mod solve;
 pub mod sparse;
 pub mod transient;
 
-pub use crossbar::{CrossbarCircuit, CrossbarSpec};
+pub use crossbar::{CrossbarCircuit, CrossbarSpec, FaultOverlay};
 pub use error::CircuitError;
 pub use mna::{Circuit, DcSolution, Element, NodeId};
+pub use recovery::{solve_robust, RecoveryReport, RecoveryStage, RobustOptions};
 pub use solve::{solve_dc, Method, SolveOptions};
 pub use transient::{solve_transient, TransientOptions, TransientResult};

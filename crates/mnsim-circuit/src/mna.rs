@@ -14,6 +14,11 @@ use mnsim_tech::units::{Capacitance, Current, Power, Resistance, Voltage};
 
 use crate::error::CircuitError;
 
+/// `true` when `x` is NaN or not strictly positive (rejects both).
+pub(crate) fn non_positive(x: f64) -> bool {
+    x.is_nan() || x <= 0.0
+}
+
 /// Identifier of a circuit node. Node `0` is ground.
 pub type NodeId = usize;
 
@@ -156,7 +161,7 @@ impl Circuit {
                 reason: format!("resistor shorted onto node {n1}"),
             });
         }
-        if !(resistance.ohms() > 0.0) {
+        if non_positive(resistance.ohms()) {
             return Err(CircuitError::InvalidElement {
                 reason: format!("resistance must be positive, got {resistance}"),
             });
@@ -231,7 +236,7 @@ impl Circuit {
                 reason: format!("memristor shorted onto node {n1}"),
             });
         }
-        if !(state.ohms() > 0.0) {
+        if non_positive(state.ohms()) {
             return Err(CircuitError::InvalidElement {
                 reason: format!("memristor state resistance must be positive, got {state}"),
             });
@@ -261,7 +266,7 @@ impl Circuit {
                 reason: format!("capacitor shorted onto node {n1}"),
             });
         }
-        if !(capacitance.farads() > 0.0) {
+        if non_positive(capacitance.farads()) {
             return Err(CircuitError::InvalidElement {
                 reason: format!("capacitance must be positive, got {capacitance}"),
             });

@@ -1,0 +1,342 @@
+//! Fault-tolerant DC solving: a typed recovery ladder around
+//! [`solve_dc`](crate::solve::solve_dc).
+//!
+//! Defective crossbars produce brutally conditioned nodal systems: a broken
+//! line modeled as a 1 TΩ near-open next to ohm-scale wire segments spreads
+//! the conductance spectrum over twelve decades, which can stall the
+//! conjugate-gradient path or break the LU pivoting that a healthy array
+//! never stresses. [`solve_robust`] wraps the plain solver in an escalation
+//! ladder so fault-injection campaigns *never* panic and *never* return
+//! silent garbage:
+//!
+//! 1. the caller's configured solve (usually `Method::Auto`),
+//! 2. conjugate gradients with a relaxed tolerance (a slightly loose answer
+//!    beats none — degradation statistics don't need 1e-10 residuals),
+//! 3. a dense LU over the full system (exact, `O(n³)` — the last resort).
+//!
+//! Every accepted solution is screened for NaN/∞ and its Kirchhoff
+//! current-law residual is measured, so the caller receives a
+//! [`RecoveryReport`] stating *how* the answer was obtained and how much to
+//! trust it.
+
+use crate::cg::CgOptions;
+use crate::error::CircuitError;
+use crate::mna::{Circuit, DcSolution, Element};
+use crate::solve::{solve_dc, Method, SolveOptions};
+
+/// Options for [`solve_robust`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustOptions {
+    /// Options for the first (base) attempt.
+    pub base: SolveOptions,
+    /// Relative CG tolerance of the relaxed second rung.
+    pub relaxed_tolerance: f64,
+}
+
+impl Default for RobustOptions {
+    fn default() -> Self {
+        RobustOptions {
+            base: SolveOptions::default(),
+            relaxed_tolerance: 1e-6,
+        }
+    }
+}
+
+/// One rung of the recovery ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryStage {
+    /// The caller's configured solve.
+    Base,
+    /// Conjugate gradients with relaxed tolerance and a raised iteration cap.
+    RelaxedCg,
+    /// Dense LU over the full system.
+    DenseLu,
+}
+
+impl std::fmt::Display for RecoveryStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryStage::Base => write!(f, "base"),
+            RecoveryStage::RelaxedCg => write!(f, "relaxed-cg"),
+            RecoveryStage::DenseLu => write!(f, "dense-lu"),
+        }
+    }
+}
+
+/// The outcome of one rung.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attempt {
+    /// Which rung ran.
+    pub stage: RecoveryStage,
+    /// `None` if the rung produced an accepted solution, otherwise why not.
+    pub error: Option<CircuitError>,
+}
+
+/// How a robust solve obtained its answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Every rung tried, in order; the last entry has `error: None`.
+    pub attempts: Vec<Attempt>,
+    /// The rung that produced the accepted solution.
+    pub stage: RecoveryStage,
+    /// Largest Kirchhoff current-law violation of the accepted solution over
+    /// all source-free nodes, in amperes.
+    pub kcl_residual: f64,
+}
+
+impl RecoveryReport {
+    /// `true` if the base solve failed and a fallback rung produced the
+    /// answer.
+    pub fn fallback_fired(&self) -> bool {
+        self.stage != RecoveryStage::Base
+    }
+
+    /// Number of failed attempts before the accepted one.
+    pub fn failed_attempts(&self) -> usize {
+        self.attempts.len().saturating_sub(1)
+    }
+}
+
+/// Solves the DC operating point, escalating through the recovery ladder on
+/// solver failure or non-finite output.
+///
+/// # Errors
+///
+/// Returns the *last* rung's error only if every rung failed — a genuinely
+/// unsolvable system (e.g. a node with no DC path to ground even through
+/// near-open resistors).
+pub fn solve_robust(
+    circuit: &Circuit,
+    options: &RobustOptions,
+) -> Result<(DcSolution, RecoveryReport), CircuitError> {
+    let relaxed = SolveOptions {
+        method: Method::Cg,
+        cg: CgOptions {
+            tolerance: options.relaxed_tolerance,
+            // The default cap is 10·n; badly conditioned defect systems get
+            // four times that before the ladder gives up on CG.
+            max_iterations: 0,
+        },
+        ..options.base.clone()
+    };
+    let dense = SolveOptions {
+        method: Method::DenseLu,
+        ..options.base.clone()
+    };
+    let ladder = [
+        (RecoveryStage::Base, options.base.clone()),
+        (RecoveryStage::RelaxedCg, relaxed),
+        (RecoveryStage::DenseLu, dense),
+    ];
+
+    let mut attempts = Vec::new();
+    let mut last_error = None;
+    for (stage, solve_options) in ladder {
+        match attempt(circuit, &solve_options, stage) {
+            Ok(solution) => {
+                attempts.push(Attempt { stage, error: None });
+                let kcl_residual = kcl_residual(circuit, &solution);
+                return Ok((
+                    solution,
+                    RecoveryReport {
+                        attempts,
+                        stage,
+                        kcl_residual,
+                    },
+                ));
+            }
+            Err(error) => {
+                attempts.push(Attempt {
+                    stage,
+                    error: Some(error.clone()),
+                });
+                last_error = Some(error);
+            }
+        }
+    }
+    // The ladder always has at least one rung, so an error was recorded.
+    Err(last_error.unwrap_or(CircuitError::InvalidElement {
+        reason: "recovery ladder ran no attempts".into(),
+    }))
+}
+
+/// One rung: solve, then screen the output for NaN/∞.
+fn attempt(
+    circuit: &Circuit,
+    options: &SolveOptions,
+    stage: RecoveryStage,
+) -> Result<DcSolution, CircuitError> {
+    let solution = solve_dc(circuit, options)?;
+    let finite = solution.voltages().iter().all(|v| v.is_finite())
+        && (0..circuit.element_count())
+            .all(|idx| solution.element_current(idx).amperes().is_finite());
+    if !finite {
+        return Err(CircuitError::NonFiniteSolution {
+            stage: match stage {
+                RecoveryStage::Base => "base",
+                RecoveryStage::RelaxedCg => "relaxed-cg",
+                RecoveryStage::DenseLu => "dense-lu",
+            },
+        });
+    }
+    Ok(solution)
+}
+
+/// Largest Kirchhoff current-law violation over all nodes that are neither
+/// ground nor a voltage-source terminal, in amperes.
+///
+/// Source terminals are excluded because their branch currents are *derived*
+/// by KCL when the solution is assembled, making their balance trivial.
+pub fn kcl_residual(circuit: &Circuit, solution: &DcSolution) -> f64 {
+    let n = circuit.node_count();
+    let mut net = vec![0.0f64; n];
+    let mut skip = vec![false; n];
+    skip[Circuit::GROUND] = true;
+
+    for (idx, element) in circuit.elements().iter().enumerate() {
+        let current = solution.element_current(idx).amperes();
+        match element {
+            Element::Resistor { n1, n2, .. }
+            | Element::Memristor { n1, n2, .. }
+            | Element::Capacitor { n1, n2, .. } => {
+                net[*n1] += current;
+                net[*n2] -= current;
+            }
+            Element::CurrentSource { from, to, .. } => {
+                net[*from] += current;
+                net[*to] -= current;
+            }
+            Element::VoltageSource { npos, nneg, .. } => {
+                skip[*npos] = true;
+                skip[*nneg] = true;
+            }
+        }
+    }
+
+    net.iter()
+        .zip(&skip)
+        .filter(|&(_, &skipped)| !skipped)
+        .map(|(&violation, _)| violation.abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::CrossbarSpec;
+    use mnsim_tech::fault::FaultMap;
+    use mnsim_tech::units::{Resistance, Voltage};
+
+    fn healthy_spec(rows: usize, cols: usize) -> CrossbarSpec {
+        CrossbarSpec::uniform(
+            rows,
+            cols,
+            Resistance::from_kilo_ohms(10.0),
+            Resistance::from_ohms(2.0),
+            Resistance::from_ohms(500.0),
+            Voltage::from_volts(1.0),
+        )
+    }
+
+    #[test]
+    fn healthy_crossbar_solves_on_base_rung() {
+        let xbar = healthy_spec(4, 4).build().unwrap();
+        let (solution, report) = solve_robust(xbar.circuit(), &RobustOptions::default()).unwrap();
+        assert_eq!(report.stage, RecoveryStage::Base);
+        assert!(!report.fallback_fired());
+        assert_eq!(report.failed_attempts(), 0);
+        assert!(report.kcl_residual < 1e-9, "residual {}", report.kcl_residual);
+        assert!(xbar.output_voltages(&solution).iter().all(|v| v.volts() > 0.0));
+    }
+
+    #[test]
+    fn broken_bitline_crossbar_still_solves() {
+        let mut map = FaultMap::empty(8, 8);
+        map.broken_bitlines.insert(3, 4);
+        let spec = healthy_spec(8, 8).with_faults(
+            map,
+            Resistance::from_kilo_ohms(500.0),
+            Resistance::from_ohms(500.0),
+        );
+        let xbar = spec.build().unwrap();
+        let (solution, report) = solve_robust(xbar.circuit(), &RobustOptions::default()).unwrap();
+        assert!(report.kcl_residual < 1e-6, "residual {}", report.kcl_residual);
+        let outputs = xbar.output_voltages(&solution);
+        // The broken column reads lower than its healthy neighbours.
+        assert!(outputs[3].volts() < outputs[2].volts());
+        assert!(outputs.iter().all(|v| v.volts().is_finite()));
+    }
+
+    #[test]
+    fn ladder_escalates_when_base_method_fails() {
+        // A starvation budget makes the base CG fail; the ladder must fall
+        // through to a rung that succeeds and say so in the report.
+        let xbar = healthy_spec(6, 6).build().unwrap();
+        let mut options = RobustOptions::default();
+        options.base.method = Method::Cg;
+        options.base.cg = CgOptions {
+            tolerance: 1e-14,
+            max_iterations: 1,
+        };
+        // Keep the relaxed rung honest but reachable.
+        options.relaxed_tolerance = 1e-6;
+        let (solution, report) = solve_robust(xbar.circuit(), &options).unwrap();
+        assert!(report.fallback_fired());
+        assert!(report.failed_attempts() >= 1);
+        assert!(matches!(
+            report.attempts[0].error,
+            Some(CircuitError::LinearNoConvergence { .. })
+        ));
+        assert!(xbar
+            .output_voltages(&solution)
+            .iter()
+            .all(|v| v.volts().is_finite()));
+    }
+
+    #[test]
+    fn all_rungs_fail_returns_last_error() {
+        // A floating source defeats the reduced paths, and an (artificially)
+        // impossible Newton budget defeats every rung of the ladder.
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_resistor(a, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .unwrap();
+        c.add_resistor(b, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .unwrap();
+        c.add_voltage_source(a, b, Voltage::from_volts(2.0)).unwrap();
+        c.add_memristor(
+            a,
+            Circuit::GROUND,
+            Resistance::from_kilo_ohms(1.0),
+            mnsim_tech::memristor::IvModel::Sinh { alpha: 2.0 },
+        )
+        .unwrap();
+        let mut options = RobustOptions::default();
+        options.base.newton_max_iterations = 0;
+        let err = solve_robust(&c, &options).unwrap_err();
+        assert!(matches!(err, CircuitError::NewtonNoConvergence { .. }));
+    }
+
+    #[test]
+    fn kcl_residual_zero_on_exact_solution() {
+        let mut c = Circuit::new();
+        let top = c.add_node();
+        let mid = c.add_node();
+        c.add_voltage_source(top, Circuit::GROUND, Voltage::from_volts(10.0))
+            .unwrap();
+        c.add_resistor(top, mid, Resistance::from_kilo_ohms(1.0))
+            .unwrap();
+        c.add_resistor(mid, Circuit::GROUND, Resistance::from_kilo_ohms(3.0))
+            .unwrap();
+        let solution = solve_dc(&c, &SolveOptions::default()).unwrap();
+        assert!(kcl_residual(&c, &solution) < 1e-12);
+    }
+
+    #[test]
+    fn stage_display_names() {
+        assert_eq!(RecoveryStage::Base.to_string(), "base");
+        assert_eq!(RecoveryStage::RelaxedCg.to_string(), "relaxed-cg");
+        assert_eq!(RecoveryStage::DenseLu.to_string(), "dense-lu");
+    }
+}

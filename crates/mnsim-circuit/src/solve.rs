@@ -249,9 +249,9 @@ fn solve_reduced(
     // Map node → unknown index.
     let mut index = vec![usize::MAX; n_nodes];
     let mut unknowns = 0usize;
-    for node in 1..n_nodes {
+    for (node, slot) in index.iter_mut().enumerate().skip(1) {
         if !sources.driven.contains_key(&node) {
-            index[node] = unknowns;
+            *slot = unknowns;
             unknowns += 1;
         }
     }

@@ -63,7 +63,7 @@ impl TripletMatrix {
     /// Converts to CSR, summing duplicate coordinates.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut sorted = self.entries.clone();
-        sorted.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        sorted.sort_unstable_by_key(|&(row, col, _)| (row, col));
 
         let mut row_ptr = vec![0usize; self.rows + 1];
         let mut col_idx = Vec::with_capacity(sorted.len());
@@ -188,9 +188,9 @@ impl CsrMatrix {
     /// Converts to a dense row-major matrix (testing / small-system LU).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut dense = vec![vec![0.0; self.cols]; self.rows];
-        for r in 0..self.rows {
+        for (r, row) in dense.iter_mut().enumerate() {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                dense[r][self.col_idx[k]] = self.values[k];
+                row[self.col_idx[k]] = self.values[k];
             }
         }
         dense

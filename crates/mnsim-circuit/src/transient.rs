@@ -16,7 +16,7 @@
 //! choice for the stiff RC meshes of crossbars.
 
 use crate::error::CircuitError;
-use crate::mna::{Circuit, Element, NodeId};
+use crate::mna::{non_positive, Circuit, Element, NodeId};
 use crate::solve::{self, Linearized, SolveOptions};
 use mnsim_tech::units::Time;
 
@@ -86,9 +86,10 @@ impl TransientResult {
         self.voltages.iter().map(|v| v[node]).collect()
     }
 
-    /// Node voltages at the final sample.
+    /// Node voltages at the final sample (empty if the run stored none;
+    /// valid runs always store at least the initial sample).
     pub fn final_voltages(&self) -> &[f64] {
-        self.voltages.last().expect("at least the initial sample")
+        self.voltages.last().map_or(&[], Vec::as_slice)
     }
 
     /// The 10-90-style settle time of `node`: the first instant after
@@ -123,7 +124,7 @@ pub fn solve_transient(
     circuit: &Circuit,
     options: &TransientOptions,
 ) -> Result<TransientResult, CircuitError> {
-    if !(options.dt.seconds() > 0.0) || options.t_stop.seconds() < options.dt.seconds() {
+    if non_positive(options.dt.seconds()) || options.t_stop.seconds() < options.dt.seconds() {
         return Err(CircuitError::InvalidElement {
             reason: format!(
                 "invalid transient window: dt = {}, t_stop = {}",

@@ -70,8 +70,9 @@ pub fn propagate(epsilons: &[f64], k: u32) -> Vec<LayerAccuracy> {
 /// Same conditions as [`propagate`].
 pub fn output_error_rates(epsilons: &[f64], k: u32) -> (f64, f64) {
     let layers = propagate(epsilons, k);
-    let last = layers.last().expect("at least one layer");
-    (last.max_error_rate, last.avg_error_rate)
+    layers
+        .last()
+        .map_or((0.0, 0.0), |last| (last.max_error_rate, last.avg_error_rate))
 }
 
 #[cfg(test)]

@@ -41,16 +41,16 @@ pub struct VariationSample {
 
 impl VariationSample {
     /// `true` if every sampled error falls within the model's
-    /// `[nominal ∓ slack, variation-worst + slack]` envelope.
+    /// `nominal ± (variation swing + slack)` envelope.
+    ///
+    /// Eq. 16 brackets the cell resistance with `(1 ± σ)`, so variation
+    /// can push the output error *either* way around the nominal
+    /// prediction by the same swing: favorable draws (cells below
+    /// `R_act`) land below nominal just as adversarial draws land above.
     pub fn within_envelope(&self, slack: f64) -> bool {
-        let lo = self
-            .model_nominal
-            .min(self.model_with_variation)
-            - slack;
-        let hi = self
-            .model_nominal
-            .max(self.model_with_variation)
-            + slack;
+        let swing = (self.model_with_variation - self.model_nominal).abs();
+        let lo = self.model_nominal - swing - slack;
+        let hi = self.model_nominal + swing + slack;
         self.min_error >= lo && self.max_error <= hi
     }
 }
@@ -110,6 +110,7 @@ pub fn measure_variation(
             states,
             iv: device.iv,
             inputs: vec![device.v_read; size],
+            faults: None,
         };
         let built = spec.build()?;
         let solution = solve_dc(built.circuit(), &SolveOptions::default())?;

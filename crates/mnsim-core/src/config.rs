@@ -251,7 +251,8 @@ impl Config {
                 });
             }
         }
-        if !(self.sense_resistance.ohms() > 0.0) {
+        let sense_ohms = self.sense_resistance.ohms();
+        if sense_ohms.is_nan() || sense_ohms <= 0.0 {
             return Err(CoreError::InvalidConfig {
                 parameter: "Sense_Resistance",
                 reason: "must be positive".into(),
@@ -318,7 +319,7 @@ impl Config {
     /// validation errors for inconsistent values.
     pub fn from_text(text: &str) -> Result<Self, CoreError> {
         let mut scale: Option<Vec<(usize, usize)>> = None;
-        let mut config = Config::for_network(models::mlp(&[128, 128]).expect("valid default"));
+        let mut config = Config::for_network(models::mlp(&[128, 128])?);
 
         for (lineno, raw) in text.lines().enumerate() {
             let line_number = lineno + 1;
@@ -436,15 +437,17 @@ impl Config {
         }
 
         if let Some(layers) = scale {
-            let mut dims = vec![layers[0].0];
+            let mut prev = layers[0].0;
+            let mut dims = vec![prev];
             for (rows, cols) in &layers {
-                if *rows != *dims.last().expect("non-empty") {
+                if *rows != prev {
                     return Err(CoreError::InvalidConfig {
                         parameter: "Network_Scale",
                         reason: format!("layer {rows}x{cols} does not chain"),
                     });
                 }
                 dims.push(*cols);
+                prev = *cols;
             }
             config.network = models::mlp(&dims)?;
         }

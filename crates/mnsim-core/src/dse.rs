@@ -316,7 +316,9 @@ pub fn explore_parallel(
                             }
                         }
                         Err(e) => {
-                            let mut slot = first_error_ref.lock().expect("poisoned");
+                            let mut slot = first_error_ref
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                             if slot.is_none() {
                                 *slot = Some(e);
                             }
@@ -324,15 +326,23 @@ pub fn explore_parallel(
                         }
                     }
                 }
-                feasible_ref.lock().expect("poisoned").extend(local);
+                feasible_ref
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(local);
             });
         }
     });
 
-    if let Some(e) = first_error.into_inner().expect("poisoned") {
+    if let Some(e) = first_error
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         return Err(e);
     }
-    let mut feasible = feasible.into_inner().expect("poisoned");
+    let mut feasible = feasible
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     // Deterministic order regardless of thread interleaving.
     feasible.sort_by_key(|p| (p.crossbar_size, p.parallelism, p.interconnect.nanometers()));
     finish(combos.len(), feasible, constraints)

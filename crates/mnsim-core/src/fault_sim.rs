@@ -1,0 +1,450 @@
+//! Fault-injection Monte-Carlo over the simulation pipeline.
+//!
+//! [`simulate_with_faults`] extends the behavior-level flow of
+//! [`simulate`](crate::simulate::simulate) with hard-defect modeling: it
+//! draws seeded [`FaultMap`]s, applies MNSIM's graceful-degradation story
+//! (spare-row remapping, bank retirement past a defect threshold), pushes
+//! each surviving map through *both* the circuit path (a representative
+//! crossbar solved with the [`solve_robust`] recovery ladder) and the
+//! behavior path (the same map mirrored onto weights by
+//! `mnsim-nn::fault`), and attaches the resulting yield, recovery, and
+//! accuracy-degradation statistics to the [`Report`].
+//!
+//! Everything is deterministic: the same `(config, fault_config)` pair
+//! produces a bit-identical [`FaultSummary`], so regression baselines and
+//! replayed defect maps stay meaningful.
+
+use mnsim_circuit::crossbar::CrossbarSpec;
+use mnsim_circuit::recovery::{solve_robust, RobustOptions};
+use mnsim_circuit::solve::{solve_dc, SolveOptions};
+use mnsim_nn::fault::weight_damage_levels;
+use mnsim_nn::quantize::Quantizer;
+use mnsim_nn::tensor::Tensor;
+use mnsim_tech::fault::{FaultMap, FaultRates};
+use mnsim_tech::units::{Resistance, Voltage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::Config;
+use crate::error::CoreError;
+use crate::simulate::{simulate, Report};
+
+/// Side length cap of the representative crossbar solved at circuit level.
+///
+/// The degradation statistics only need a representative array — solving the
+/// full `crossbar_size` (up to 1024²) per Monte-Carlo trial would defeat the
+/// behavior-level speed advantage the paper exists to demonstrate.
+const REPRESENTATIVE_LIMIT: usize = 16;
+
+/// Fault-injection campaign parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Per-kind defect probabilities.
+    pub rates: FaultRates,
+    /// Number of Monte-Carlo fault maps to draw.
+    pub trials: usize,
+    /// Master seed; each trial derives its own sub-seed from it.
+    pub seed: u64,
+    /// Spare rows available per crossbar for defect remapping.
+    pub spare_rows: usize,
+    /// Defective-cell fraction (after spare-row repair) beyond which the
+    /// bank is retired instead of operated degraded.
+    pub retire_threshold: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            rates: FaultRates::stuck_at(0.01),
+            trials: 8,
+            seed: 0x00C0_FFEE,
+            spare_rows: 2,
+            retire_threshold: 0.25,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Validates the campaign parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a zero trial count or an
+    /// out-of-range retirement threshold, and propagates
+    /// [`FaultRates::validate`] failures.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.trials == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "fault_trials",
+                reason: "at least one Monte-Carlo trial is required".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.retire_threshold) {
+            return Err(CoreError::InvalidConfig {
+                parameter: "retire_threshold",
+                reason: format!("{} is not a fraction in [0, 1]", self.retire_threshold),
+            });
+        }
+        self.rates.validate()?;
+        Ok(())
+    }
+}
+
+/// Aggregate outcome of a fault-injection campaign, attached to a
+/// [`Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSummary {
+    /// Monte-Carlo trials run.
+    pub trials: usize,
+    /// Fraction of trials in which the array stayed in service after
+    /// spare-row repair (defect fraction ≤ retirement threshold).
+    pub yield_fraction: f64,
+    /// Trials in which the array was retired.
+    pub retired_trials: usize,
+    /// Mean spare rows consumed per trial by defect remapping.
+    pub mean_spare_rows_used: f64,
+    /// Circuit-level robust solves performed.
+    pub solves: usize,
+    /// Solves in which the base solver failed and a fallback rung answered.
+    pub fallback_solves: usize,
+    /// Worst Kirchhoff current-law residual of any accepted solution (A).
+    pub worst_kcl_residual: f64,
+    /// Mean per-column digital deviation of surviving arrays, in output
+    /// quantization levels.
+    pub mean_deviation_levels: f64,
+    /// 95th-percentile per-column digital deviation, in output levels.
+    pub p95_deviation_levels: f64,
+    /// Mean per-cell weight damage of the behavior-level mirror, in weight
+    /// quantization levels.
+    pub mean_weight_damage_levels: f64,
+}
+
+impl FaultSummary {
+    /// Fraction of solves that needed a fallback rung.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.fallback_solves as f64 / self.solves as f64
+        }
+    }
+}
+
+/// Derives the per-trial seed from the campaign master seed (SplitMix64
+/// increment, so trials are decorrelated but replayable).
+fn trial_seed(master: u64, trial: usize) -> u64 {
+    master ^ (trial as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs the full MNSIM simulation plus a fault-injection campaign.
+///
+/// The returned [`Report`] is the clean behavior-level result with
+/// [`Report::faults`] populated. Defective arrays *never* abort the run:
+/// unsolvable or degraded trials are absorbed into the yield and recovery
+/// statistics.
+///
+/// # Errors
+///
+/// Returns configuration validation errors; circuit errors only escape if
+/// even the dense-LU fallback cannot solve a trial (a genuinely singular
+/// system, which the near-open defect modeling prevents).
+pub fn simulate_with_faults(
+    config: &Config,
+    fault_config: &FaultConfig,
+) -> Result<Report, CoreError> {
+    fault_config.validate()?;
+    let mut report = simulate(config)?;
+
+    let device = &config.device;
+    let size = config.crossbar_size.clamp(1, REPRESENTATIVE_LIMIT);
+    let cell_levels = device.levels();
+    let weight_quantizer = Quantizer::unsigned_unit(device.bits_per_cell)?;
+
+    // One clean representative crossbar, reused by every trial: random but
+    // seed-determined cell levels and input activations.
+    let mut rng = StdRng::seed_from_u64(fault_config.seed);
+    let levels: Vec<u32> = (0..size * size)
+        .map(|_| rng.gen_range(0u32..cell_levels))
+        .collect();
+    let states: Vec<Resistance> = levels
+        .iter()
+        .map(|&level| device.resistance_for_level(level))
+        .collect();
+    let inputs: Vec<Voltage> = (0..size)
+        .map(|_| Voltage::from_volts(device.v_read.volts() * rng.gen_range(0.25..=1.0)))
+        .collect();
+    let clean_spec = CrossbarSpec {
+        rows: size,
+        cols: size,
+        wire_resistance: config.interconnect.segment_resistance(),
+        sense_resistance: config.sense_resistance,
+        states,
+        iv: device.iv,
+        inputs,
+        faults: None,
+    };
+    let clean_xbar = clean_spec.build()?;
+    let clean_solution = solve_dc(clean_xbar.circuit(), &SolveOptions::default())?;
+    let clean_outputs = clean_xbar.output_voltages(&clean_solution);
+
+    // Behavior-level mirror of the same array: weight = level fraction.
+    let weights = Tensor::from_vec(
+        &[size, size],
+        levels
+            .iter()
+            .map(|&level| level as f64 / (cell_levels - 1).max(1) as f64)
+            .collect(),
+    )?;
+
+    let output_span = (config.output_levels() - 1) as f64;
+    let v_read = device.v_read.volts();
+
+    let mut retired_trials = 0usize;
+    let mut spare_rows_used = 0usize;
+    let mut solves = 0usize;
+    let mut fallback_solves = 0usize;
+    let mut worst_kcl_residual = 0.0f64;
+    let mut deviation_samples: Vec<f64> = Vec::new();
+    let mut weight_damage_sum = 0.0f64;
+    let mut damage_samples = 0usize;
+
+    for trial in 0..fault_config.trials {
+        let mut map = FaultMap::generate(
+            size,
+            size,
+            &fault_config.rates,
+            trial_seed(fault_config.seed, trial),
+        )?;
+
+        // Graceful degradation, stage 1: remap the worst rows to spares.
+        let defective_rows = map.defective_rows();
+        let repaired = defective_rows.len().min(fault_config.spare_rows);
+        for &row in defective_rows.iter().take(fault_config.spare_rows) {
+            map.clear_row(row);
+        }
+        spare_rows_used += repaired;
+
+        // Stage 2: retire arrays still beyond the defect threshold.
+        if map.defective_cell_fraction() > fault_config.retire_threshold {
+            retired_trials += 1;
+            continue;
+        }
+
+        // Circuit path: the recovery ladder must absorb whatever the defect
+        // map does to the system's conditioning.
+        let faulty_spec =
+            clean_spec
+                .clone()
+                .with_faults(map.clone(), device.r_max, device.r_min);
+        let (solution, recovery) =
+            solve_robust(faulty_spec.build()?.circuit(), &RobustOptions::default())?;
+        solves += 1;
+        if recovery.fallback_fired() {
+            fallback_solves += 1;
+        }
+        worst_kcl_residual = worst_kcl_residual.max(recovery.kcl_residual);
+
+        let faulty_xbar = faulty_spec.build()?;
+        let faulty_outputs = faulty_xbar.output_voltages(&solution);
+        for (clean, faulty) in clean_outputs.iter().zip(&faulty_outputs) {
+            let relative = (clean.volts() - faulty.volts()).abs() / v_read;
+            deviation_samples.push(relative * output_span);
+        }
+
+        // Behavior path: same map, weight-level mirror.
+        weight_damage_sum += weight_damage_levels(&weights, &weight_quantizer, &map)?;
+        damage_samples += 1;
+    }
+
+    deviation_samples.sort_by(|a, b| a.total_cmp(b));
+    let mean_deviation_levels = if deviation_samples.is_empty() {
+        0.0
+    } else {
+        deviation_samples.iter().sum::<f64>() / deviation_samples.len() as f64
+    };
+    let p95_deviation_levels = if deviation_samples.is_empty() {
+        0.0
+    } else {
+        let index = ((deviation_samples.len() as f64 * 0.95).ceil() as usize)
+            .clamp(1, deviation_samples.len());
+        deviation_samples[index - 1]
+    };
+
+    report.faults = Some(FaultSummary {
+        trials: fault_config.trials,
+        yield_fraction: 1.0 - retired_trials as f64 / fault_config.trials as f64,
+        retired_trials,
+        mean_spare_rows_used: spare_rows_used as f64 / fault_config.trials as f64,
+        solves,
+        fallback_solves,
+        worst_kcl_residual,
+        mean_deviation_levels,
+        p95_deviation_levels,
+        mean_weight_damage_levels: if damage_samples == 0 {
+            0.0
+        } else {
+            weight_damage_sum / damage_samples as f64
+        },
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> Config {
+        Config::fully_connected_mlp(&[64, 32]).unwrap()
+    }
+
+    #[test]
+    fn clean_rates_give_full_yield_and_no_degradation() {
+        let fault_config = FaultConfig {
+            rates: FaultRates::default(),
+            trials: 3,
+            ..FaultConfig::default()
+        };
+        let report = simulate_with_faults(&small_config(), &fault_config).unwrap();
+        let summary = report.faults.unwrap();
+        assert_eq!(summary.yield_fraction, 1.0);
+        assert_eq!(summary.retired_trials, 0);
+        assert_eq!(summary.solves, 3);
+        assert_eq!(summary.mean_deviation_levels, 0.0);
+        assert_eq!(summary.mean_weight_damage_levels, 0.0);
+        assert!(summary.worst_kcl_residual < 1e-6);
+    }
+
+    #[test]
+    fn monte_carlo_is_bit_identical_for_fixed_seed() {
+        let fault_config = FaultConfig {
+            rates: FaultRates {
+                stuck_at_hrs: 0.03,
+                stuck_at_lrs: 0.02,
+                drifted: 0.01,
+                drift_decades: 1.0,
+                broken_wordline: 0.1,
+                broken_bitline: 0.1,
+            },
+            trials: 4,
+            ..FaultConfig::default()
+        };
+        let config = small_config();
+        let a = simulate_with_faults(&config, &fault_config).unwrap();
+        let b = simulate_with_faults(&config, &fault_config).unwrap();
+        assert_eq!(a.faults, b.faults);
+        let different_seed = FaultConfig {
+            seed: fault_config.seed + 1,
+            ..fault_config
+        };
+        let c = simulate_with_faults(&config, &different_seed).unwrap();
+        assert_ne!(a.faults, c.faults);
+    }
+
+    #[test]
+    fn heavy_faults_degrade_accuracy_and_yield() {
+        let light = FaultConfig {
+            rates: FaultRates::stuck_at(0.02),
+            trials: 6,
+            ..FaultConfig::default()
+        };
+        let heavy = FaultConfig {
+            rates: FaultRates {
+                broken_bitline: 0.3,
+                ..FaultRates::stuck_at(0.4)
+            },
+            spare_rows: 0,
+            trials: 6,
+            ..FaultConfig::default()
+        };
+        let config = small_config();
+        let light_summary = simulate_with_faults(&config, &light).unwrap().faults.unwrap();
+        let heavy_summary = simulate_with_faults(&config, &heavy).unwrap().faults.unwrap();
+        assert!(
+            light_summary.mean_weight_damage_levels
+                <= heavy_summary.mean_weight_damage_levels.max(1e-12)
+                || heavy_summary.solves == 0,
+            "light {} vs heavy {}",
+            light_summary.mean_weight_damage_levels,
+            heavy_summary.mean_weight_damage_levels
+        );
+        assert!(heavy_summary.yield_fraction <= light_summary.yield_fraction);
+        assert!(heavy_summary.retired_trials > 0, "40 % stuck-at must retire arrays");
+    }
+
+    #[test]
+    fn spare_rows_improve_yield() {
+        let rates = FaultRates {
+            broken_wordline: 0.35,
+            ..FaultRates::default()
+        };
+        let config = small_config();
+        let without = FaultConfig {
+            rates,
+            trials: 8,
+            spare_rows: 0,
+            retire_threshold: 0.1,
+            ..FaultConfig::default()
+        };
+        let with = FaultConfig {
+            spare_rows: 8,
+            ..without.clone()
+        };
+        let yield_without = simulate_with_faults(&config, &without)
+            .unwrap()
+            .faults
+            .unwrap()
+            .yield_fraction;
+        let yield_with = simulate_with_faults(&config, &with)
+            .unwrap()
+            .faults
+            .unwrap()
+            .yield_fraction;
+        assert!(
+            yield_with >= yield_without,
+            "{yield_with} !>= {yield_without}"
+        );
+    }
+
+    #[test]
+    fn invalid_campaigns_rejected() {
+        let config = small_config();
+        let zero_trials = FaultConfig {
+            trials: 0,
+            ..FaultConfig::default()
+        };
+        assert!(simulate_with_faults(&config, &zero_trials).is_err());
+        let bad_threshold = FaultConfig {
+            retire_threshold: 2.0,
+            ..FaultConfig::default()
+        };
+        assert!(simulate_with_faults(&config, &bad_threshold).is_err());
+        let bad_rates = FaultConfig {
+            rates: FaultRates {
+                stuck_at_hrs: -0.5,
+                ..FaultRates::default()
+            },
+            ..FaultConfig::default()
+        };
+        assert!(matches!(
+            simulate_with_faults(&config, &bad_rates),
+            Err(CoreError::Tech(_))
+        ));
+    }
+
+    #[test]
+    fn fallback_rate_is_well_defined() {
+        let summary = FaultSummary {
+            trials: 4,
+            yield_fraction: 0.0,
+            retired_trials: 4,
+            mean_spare_rows_used: 0.0,
+            solves: 0,
+            fallback_solves: 0,
+            worst_kcl_residual: 0.0,
+            mean_deviation_levels: 0.0,
+            p95_deviation_levels: 0.0,
+            mean_weight_damage_levels: 0.0,
+        };
+        assert_eq!(summary.fallback_rate(), 0.0);
+    }
+}

@@ -38,6 +38,8 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library code must surface failures as typed errors; tests may unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod accuracy;
 pub mod arch;
@@ -45,6 +47,7 @@ pub mod config;
 pub mod custom;
 pub mod dse;
 pub mod error;
+pub mod fault_sim;
 pub mod instruction;
 pub mod mapping;
 pub mod memory_mode;
@@ -58,5 +61,6 @@ pub mod validate;
 
 pub use config::{Config, NetworkType, Precision, SignedMapping, WeightPolarity};
 pub use error::CoreError;
+pub use fault_sim::{simulate_with_faults, FaultConfig, FaultSummary};
 pub use perf::ModulePerf;
 pub use simulate::{simulate, Report};

@@ -120,6 +120,7 @@ pub fn map_weights(
         states: state_at(1.0),
         iv: device.iv,
         inputs: input_voltages.clone(),
+        faults: None,
     };
 
     let negative = match config.weight_polarity {

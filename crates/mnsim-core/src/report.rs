@@ -64,6 +64,34 @@ pub fn format_report(report: &Report) -> String {
         "  output error (avg): {:>12.4} %",
         report.output_avg_error_rate * 100.0
     );
+    if let Some(faults) = &report.faults {
+        let _ = writeln!(
+            out,
+            "  fault campaign:     {:>12} trials ({} retired)",
+            faults.trials, faults.retired_trials
+        );
+        let _ = writeln!(
+            out,
+            "  array yield:        {:>12.4} %",
+            faults.yield_fraction * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  solver fallbacks:   {:>12.4} % of {} solves",
+            faults.fallback_rate() * 100.0,
+            faults.solves
+        );
+        let _ = writeln!(
+            out,
+            "  fault deviation:    {:>12.4} levels mean / {:.4} levels p95",
+            faults.mean_deviation_levels, faults.p95_deviation_levels
+        );
+        let _ = writeln!(
+            out,
+            "  weight damage:      {:>12.4} levels mean",
+            faults.mean_weight_damage_levels
+        );
+    }
     out
 }
 
@@ -153,15 +181,29 @@ pub fn area_breakdown(report: &Report) -> AreaBreakdown {
 }
 
 /// The CSV header matching [`report_csv_row`].
+///
+/// The four fault columns are empty for clean simulations and populated by
+/// [`crate::fault_sim::simulate_with_faults`].
 pub const CSV_HEADER: &str = "network,crossbar_size,parallelism,interconnect_nm,cmos_nm,\
 area_mm2,energy_uj,sample_latency_us,pipeline_cycle_us,power_w,\
-worst_epsilon,output_max_error,output_avg_error";
+worst_epsilon,output_max_error,output_avg_error,\
+yield,fault_fallback_rate,fault_dev_mean_levels,fault_dev_p95_levels";
 
 /// One report as a CSV row (see [`CSV_HEADER`]).
 pub fn report_csv_row(report: &Report) -> String {
     let c = &report.config;
+    let fault_columns = match &report.faults {
+        Some(faults) => format!(
+            "{:.6},{:.6},{:.6},{:.6}",
+            faults.yield_fraction,
+            faults.fallback_rate(),
+            faults.mean_deviation_levels,
+            faults.p95_deviation_levels,
+        ),
+        None => ",,,".into(),
+    };
     format!(
-        "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+        "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{}",
         // Network names may contain commas (e.g. "mlp-[128, 128]").
         c.network.name.replace([',', ' '], "_"),
         c.crossbar_size,
@@ -176,6 +218,7 @@ pub fn report_csv_row(report: &Report) -> String {
         report.worst_crossbar_epsilon,
         report.output_max_error_rate,
         report.output_avg_error_rate,
+        fault_columns,
     )
 }
 
@@ -261,6 +304,23 @@ mod tests {
             CSV_HEADER.split(',').count(),
             "row: {row}"
         );
+    }
+
+    #[test]
+    fn csv_fault_columns_populated_by_fault_sim() {
+        use crate::fault_sim::{simulate_with_faults, FaultConfig};
+        let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+        let fault_config = FaultConfig {
+            trials: 2,
+            ..FaultConfig::default()
+        };
+        let report = simulate_with_faults(&config, &fault_config).unwrap();
+        let row = report_csv_row(&report);
+        assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
+        assert!(!row.ends_with(",,,"), "fault columns must be filled: {row}");
+        let text = format_report(&report);
+        assert!(text.contains("array yield"));
+        assert!(text.contains("solver fallbacks"));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::accuracy::{propagate, AccuracyModel, Case, LayerAccuracy};
 use crate::arch::accelerator::{evaluate_accelerator, AcceleratorModelResult};
 use crate::config::Config;
 use crate::error::CoreError;
+use crate::fault_sim::FaultSummary;
 
 /// The complete simulation result for one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +36,9 @@ pub struct Report {
     pub pipeline_cycle: Time,
     /// Average power of a single-sample run.
     pub power: Power,
+    /// Fault-injection campaign results; `None` for a clean simulation
+    /// (populated by [`crate::fault_sim::simulate_with_faults`]).
+    pub faults: Option<FaultSummary>,
 }
 
 /// Runs the full MNSIM simulation for `config`.
@@ -63,7 +67,12 @@ pub fn simulate(config: &Config) -> Result<Report, CoreError> {
     let worst_crossbar_epsilon = epsilons.iter().cloned().fold(0.0, f64::max);
 
     let layer_accuracy = propagate(&epsilons, config.output_levels());
-    let last = layer_accuracy.last().expect("network has at least one bank");
+    let last = layer_accuracy
+        .last()
+        .ok_or_else(|| CoreError::InvalidConfig {
+            parameter: "network",
+            reason: "network produced no banks to simulate".into(),
+        })?;
     let output_max_error_rate = last.max_error_rate;
     let output_avg_error_rate = last.avg_error_rate;
 
@@ -79,6 +88,7 @@ pub fn simulate(config: &Config) -> Result<Report, CoreError> {
         worst_crossbar_epsilon,
         output_max_error_rate,
         output_avg_error_rate,
+        faults: None,
     })
 }
 

@@ -71,7 +71,7 @@ impl TrainingPlan {
                 reason: "need at least one programming pulse".into(),
             });
         }
-        if !(self.endurance_cycles > 0.0) {
+        if self.endurance_cycles.is_nan() || self.endurance_cycles <= 0.0 {
             return Err(CoreError::InvalidConfig {
                 parameter: "endurance_cycles",
                 reason: "endurance must be positive".into(),

@@ -15,6 +15,8 @@
 //!   MNIST/ImageNet/JPEG inputs),
 //! * [`noise`] — digital-deviation injection for application-level accuracy
 //!   validation,
+//! * [`fault`] — behavior-level mirror of crossbar hard defects (stuck
+//!   weights, blanked rows/columns) sharing `mnsim-tech`'s fault maps,
 //! * [`snn`] — rate-coded spiking-network simulation (integrate-and-fire).
 //!
 //! # Examples
@@ -28,10 +30,13 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library code must surface failures as typed errors; tests may unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod data;
 pub mod descriptor;
 pub mod error;
+pub mod fault;
 pub mod im2col;
 pub mod layers;
 pub mod models;
@@ -44,6 +49,7 @@ pub mod train;
 
 pub use descriptor::{BankDescriptor, ConvShape, NetworkDescriptor};
 pub use error::NnError;
+pub use fault::{apply_fault_map, weight_damage_levels};
 pub use layers::{Activation, Conv2d, FullyConnected, Layer, MaxPool2d};
 pub use network::Network;
 pub use quantize::Quantizer;

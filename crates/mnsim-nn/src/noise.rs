@@ -13,12 +13,19 @@ use crate::quantize::Quantizer;
 use crate::tensor::Tensor;
 
 /// Perturbs every element of `tensor` by up to `max_deviation_levels`
-/// quantization levels (uniform over `-d ..= +d`, independent per element),
-/// then re-quantizes. Elements are clamped to the quantizer range.
+/// quantization levels (uniform over the *integer* levels `-d ..= +d`,
+/// independent per element), then re-quantizes. Elements are clamped to the
+/// quantizer range.
 ///
-/// `max_deviation_levels` may be fractional; the sampled deviation is
-/// rounded to the nearest whole level, so e.g. `0.4` perturbs only a
-/// fraction of the elements.
+/// `max_deviation_levels` may be fractional: a fractional bound `d` behaves
+/// as `⌊d⌋` with probability `1 − frac(d)` and `⌊d⌋ + 1` with probability
+/// `frac(d)`, so the expected bound equals `d` (e.g. `0.4` perturbs at most
+/// 40 % of the elements, by one level).
+///
+/// Sampling is over the integers directly — *not* by rounding a uniform
+/// float times `d`, which would give the endpoint levels `±d` only half the
+/// probability of the interior levels and so systematically understate the
+/// worst-case deviation the accuracy model predicts.
 pub fn inject_digital_deviation(
     tensor: &Tensor,
     quantizer: &Quantizer,
@@ -26,12 +33,19 @@ pub fn inject_digital_deviation(
     rng: &mut impl Rng,
 ) -> Tensor {
     let levels = quantizer.levels() as i64;
+    let whole = max_deviation_levels.floor();
+    let frac = max_deviation_levels - whole;
     let data: Vec<f64> = tensor
         .data()
         .iter()
         .map(|&v| {
             let level = quantizer.level_of(v) as i64;
-            let deviation = (rng.gen_range(-1.0..=1.0) * max_deviation_levels).round() as i64;
+            let bound = whole as i64 + i64::from(frac > 0.0 && rng.gen_bool(frac));
+            let deviation = if bound == 0 {
+                0
+            } else {
+                rng.gen_range(-bound..=bound)
+            };
             let perturbed = (level + deviation).clamp(0, levels - 1);
             quantizer.value_of(perturbed as u32)
         })
@@ -128,6 +142,54 @@ mod tests {
         for _ in 0..50 {
             let out = inject_digital_deviation(&t, &q, 5.0, &mut rng);
             assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deviation_levels_are_uniform_including_endpoints() {
+        // With d = 2 the five levels −2..=+2 must be equally likely. The old
+        // round(uniform·d) sampling gave ±2 half the interior probability.
+        let q = Quantizer::unsigned_unit(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mid = q.value_of(q.levels() / 2);
+        let n = 20_000usize;
+        let t = Tensor::vector(&vec![mid; n]);
+        let out = inject_digital_deviation(&t, &q, 2.0, &mut rng);
+        let mid_level = q.level_of(mid) as i64;
+        let mut counts = [0usize; 5];
+        for &v in out.data() {
+            let dev = q.level_of(v) as i64 - mid_level;
+            counts[(dev + 2) as usize] += 1;
+        }
+        let expected = n as f64 / 5.0;
+        for (k, &count) in counts.iter().enumerate() {
+            let rel = (count as f64 - expected).abs() / expected;
+            assert!(rel < 0.1, "level {}: {count} vs {expected} (rel {rel:.3})", k as i64 - 2);
+        }
+    }
+
+    #[test]
+    fn fractional_deviation_bound_is_bernoulli() {
+        // d = 0.25 must perturb ≈ 25 %·(2/3) of elements… more precisely:
+        // bound is 1 with p = 0.25, and then the deviation is ±1 with
+        // probability 2/3 — so ≈ 16.7 % of elements move by exactly one.
+        let q = Quantizer::unsigned_unit(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000usize;
+        let t = Tensor::vector(&vec![0.5; n]);
+        let out = inject_digital_deviation(&t, &q, 0.25, &mut rng);
+        let reference = q.quantize_tensor(&t);
+        let moved = reference
+            .data()
+            .iter()
+            .zip(out.data())
+            .filter(|(a, b)| a != b)
+            .count();
+        let rate = moved as f64 / n as f64;
+        assert!((rate - 0.25 * 2.0 / 3.0).abs() < 0.02, "moved rate {rate}");
+        // No element may move by more than one level.
+        for (&a, &b) in reference.data().iter().zip(out.data()) {
+            assert!((a - b).abs() <= q.step() + 1e-12);
         }
     }
 

@@ -31,7 +31,7 @@ impl Quantizer {
                 reason: format!("bits must be in 1..=16, got {bits}"),
             });
         }
-        if !(max > min) || !min.is_finite() || !max.is_finite() {
+        if !min.is_finite() || !max.is_finite() || max <= min {
             return Err(NnError::InvalidQuantizer {
                 reason: format!("range [{min}, {max}] is empty or not finite"),
             });

@@ -80,7 +80,7 @@ impl SpikingNetwork {
                 reason: "a spiking network needs at least one synapse layer".into(),
             });
         }
-        if !(threshold > 0.0) {
+        if threshold.is_nan() || threshold <= 0.0 {
             return Err(NnError::InvalidNetwork {
                 reason: format!("firing threshold must be positive, got {threshold}"),
             });

@@ -166,9 +166,9 @@ impl Tensor {
         }
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0; m];
-        for i in 0..m {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let row = &self.data[i * n..(i + 1) * n];
-            out[i] = row.iter().zip(&x.data).map(|(w, v)| w * v).sum();
+            *out_i = row.iter().zip(&x.data).map(|(w, v)| w * v).sum();
         }
         Ok(Tensor {
             shape: vec![m],

@@ -35,7 +35,7 @@ impl Mlp {
         output_activation: Activation,
         rng: &mut impl Rng,
     ) -> Result<Self, NnError> {
-        if dims.len() < 2 || dims.iter().any(|&d| d == 0) {
+        if dims.len() < 2 || dims.contains(&0) {
             return Err(NnError::InvalidNetwork {
                 reason: format!("MLP dims must be ≥2 positive sizes, got {dims:?}"),
             });

@@ -26,6 +26,13 @@ pub enum TechError {
         /// Requested precision in bits.
         bits: u32,
     },
+    /// A serialized fault map could not be parsed.
+    FaultMapParse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TechError {
@@ -43,6 +50,9 @@ impl fmt::Display for TechError {
             }
             TechError::NoConverter { bits } => {
                 write!(f, "no data converter supports {bits}-bit precision")
+            }
+            TechError::FaultMapParse { line, reason } => {
+                write!(f, "fault map parse error at line {line}: {reason}")
             }
         }
     }
@@ -68,6 +78,11 @@ mod tests {
         assert!(e.to_string().contains("r_min"));
         let e = TechError::NoConverter { bits: 99 };
         assert!(e.to_string().contains("99-bit"));
+        let e = TechError::FaultMapParse {
+            line: 4,
+            reason: "bad directive".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   multi-level cells, non-linear I-V characteristics and device variation.
 //! * [`converters`] — a small performance database of ADC / DAC / sensing
 //!   amplifier designs (SAR ADC, multilevel SA, …).
+//! * [`fault`] — hard-defect models: stuck-at cells, broken word/bit lines,
+//!   drifted resistances, and seeded, replayable fault maps.
 //!
 //! All numeric values in the databases are *reconstructed* representative
 //! values (documented per entry); the MNSIM models only rely on their relative
@@ -38,10 +40,13 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Library code must surface failures as typed errors; tests may unwrap.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod cmos;
 pub mod converters;
 pub mod error;
+pub mod fault;
 pub mod interconnect;
 pub mod memristor;
 pub mod units;
@@ -49,6 +54,7 @@ pub mod units;
 pub use cmos::{CmosNode, CmosParams};
 pub use converters::{AdcKind, AdcSpec, DacSpec, SenseAmpSpec};
 pub use error::TechError;
+pub use fault::{CellFault, FaultKind, FaultMap, FaultRates};
 pub use interconnect::InterconnectNode;
 pub use memristor::{CellType, DeviceKind, IvModel, MemristorModel};
 pub use units::{

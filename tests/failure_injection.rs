@@ -151,3 +151,145 @@ fn transient_mis_windows_are_typed() {
     };
     assert!(solve_transient(&c, &options).is_err());
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection + recovery ladder
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stuck_cells_and_broken_bitline_simulate_end_to_end() {
+    use mnsim::circuit::crossbar::CrossbarSpec;
+    use mnsim::circuit::{solve_robust, RobustOptions};
+    use mnsim::tech::fault::{FaultMap, FaultRates};
+
+    // The issue's acceptance scenario: 5 % stuck-at cells plus one broken
+    // bitline must solve end-to-end, never panic, and report any fallback.
+    let mut map = FaultMap::generate(16, 16, &FaultRates::stuck_at(0.05), 0xFA_17).unwrap();
+    map.broken_bitlines.insert(3, 1);
+    let spec = CrossbarSpec::uniform(
+        16,
+        16,
+        Resistance::from_kilo_ohms(10.0),
+        Resistance::from_ohms(2.5),
+        Resistance::from_ohms(10.0),
+        Voltage::from_volts(0.3),
+    )
+    .with_faults(map, Resistance::from_mega_ohms(1.0), Resistance::from_ohms(500.0));
+    let built = spec.build().unwrap();
+    let (solution, report) = solve_robust(built.circuit(), &RobustOptions::default()).unwrap();
+    assert!(solution.voltages().iter().all(|v| v.is_finite()));
+    assert!(report.kcl_residual.is_finite());
+    // Whatever rung answered, the report must account for every attempt.
+    assert_eq!(report.attempts.last().unwrap().stage, report.stage);
+}
+
+#[test]
+fn recovery_ladder_reports_fallback_through_facade() {
+    use mnsim::circuit::cg::CgOptions;
+    use mnsim::circuit::solve::Method;
+    use mnsim::circuit::{solve_robust, RecoveryStage, RobustOptions};
+
+    // A resistor ladder with enough unknowns that a one-iteration CG
+    // budget cannot converge (CG needs up to n steps on n unknowns).
+    let mut c = Circuit::new();
+    let top = c.add_node();
+    c.add_voltage_source(top, Circuit::GROUND, Voltage::from_volts(1.0))
+        .unwrap();
+    let mut prev = top;
+    let mut mid = top;
+    for step in 0..40 {
+        let next = c.add_node();
+        c.add_resistor(prev, next, Resistance::from_kilo_ohms(1.0))
+            .unwrap();
+        if step == 19 {
+            mid = next;
+        }
+        prev = next;
+    }
+    c.add_resistor(prev, Circuit::GROUND, Resistance::from_kilo_ohms(1.0))
+        .unwrap();
+
+    // A base solver that cannot converge forces the ladder to escalate.
+    let options = RobustOptions {
+        base: SolveOptions {
+            method: Method::Cg,
+            cg: CgOptions {
+                tolerance: 1e-15,
+                max_iterations: 1,
+            },
+            ..SolveOptions::default()
+        },
+        ..RobustOptions::default()
+    };
+    let (solution, report) = solve_robust(&c, &options).unwrap();
+    assert!(report.fallback_fired());
+    assert_ne!(report.stage, RecoveryStage::Base);
+    assert!(report.attempts[0].error.is_some(), "{report:?}");
+    // Voltage divider: node 20 of 41 series resistors sits at 1 − 20/41 V.
+    let expected = 1.0 - 20.0 / 41.0;
+    assert!((solution.voltages()[mid] - expected).abs() < 1e-6);
+}
+
+#[test]
+fn fault_maps_are_deterministic_and_serializable() {
+    use mnsim::tech::fault::{FaultMap, FaultRates};
+
+    let rates = FaultRates {
+        broken_wordline: 0.1,
+        broken_bitline: 0.1,
+        ..FaultRates::stuck_at(0.2)
+    };
+    let a = FaultMap::generate(24, 24, &rates, 7).unwrap();
+    let b = FaultMap::generate(24, 24, &rates, 7).unwrap();
+    assert_eq!(a, b, "same seed must reproduce the same silicon");
+    assert_ne!(a, FaultMap::generate(24, 24, &rates, 8).unwrap());
+    // Text replay round-trips exactly.
+    let replayed = FaultMap::from_text(&a.to_text()).unwrap();
+    assert_eq!(a, replayed);
+}
+
+mod fault_properties {
+    use mnsim::core::config::Config;
+    use mnsim::core::fault_sim::{simulate_with_faults, FaultConfig};
+    use mnsim::tech::fault::FaultRates;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Any fault rate in [0, 1] runs the full pipeline without a panic:
+        /// the outcome is a report or a typed error, nothing else.
+        #[test]
+        fn any_fault_rate_never_panics(
+            raw in 0.0f64..1.25,
+            broken in 0.0f64..0.3,
+            seed in 0u64..1000,
+        ) {
+            // `min` folds the overshoot onto the closed endpoint so the
+            // boundary rate 1.0 is exercised too.
+            let rate = raw.min(1.0);
+            let config = Config::fully_connected_mlp(&[32, 16]).unwrap();
+            let fault_config = FaultConfig {
+                rates: FaultRates {
+                    broken_wordline: broken,
+                    broken_bitline: broken,
+                    ..FaultRates::stuck_at(rate)
+                },
+                trials: 2,
+                seed,
+                ..FaultConfig::default()
+            };
+            match simulate_with_faults(&config, &fault_config) {
+                Ok(report) => {
+                    let faults = report.faults.expect("campaign attaches a summary");
+                    prop_assert!(faults.yield_fraction >= 0.0 && faults.yield_fraction <= 1.0);
+                    prop_assert!(faults.mean_deviation_levels.is_finite());
+                }
+                Err(e) => {
+                    // Typed failure is acceptable; a panic is not.
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+}

@@ -74,8 +74,8 @@ fn mapped_outputs_track_weight_magnitudes() {
     let mut config = Config::fully_connected_mlp(&[8, 2]).unwrap();
     config.crossbar_size = 8;
     let mut data = vec![0.0; 16];
-    for i in 0..8 {
-        data[i] = 0.9; // output 0: strong weights
+    for d in data.iter_mut().take(8) {
+        *d = 0.9; // output 0: strong weights
     }
     let weights = mnsim::nn::tensor::Tensor::from_vec(&[2, 8], data).unwrap();
     let mapped = map_weights(&config, &weights, &[1.0; 8]).unwrap();

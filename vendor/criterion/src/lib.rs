@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API shape the `mnsim-bench` targets use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `criterion_group!`/`criterion_main!` —
+//! with a trivial runner: each benchmark body executes a small fixed number
+//! of iterations and the mean wall-clock time is printed. There are no
+//! statistics, no warm-up, and no reports; the numbers are indicative only.
+//!
+//! Under `cargo test` (which passes `--test` to `harness = false` bench
+//! binaries) all benchmarks are skipped so the test suite stays fast.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark body (kept small: this is a smoke runner).
+const ITERATIONS: u32 = 3;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    enabled: bool,
+    label: String,
+}
+
+impl Bencher {
+    /// Runs `routine` [`ITERATIONS`] times and prints the mean duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.enabled {
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            black_box(routine());
+        }
+        let mean = start.elapsed() / ITERATIONS;
+        println!("bench {:<40} {:>12.3?}/iter", self.label, mean);
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench binaries with `--test`;
+        // benchmarks are skipped there so tests stay fast.
+        let enabled = !std::env::args().any(|a| a == "--test");
+        Criterion { enabled }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            enabled: self.enabled,
+            label: id.into().label,
+        };
+        f(&mut bencher);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs a fixed count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            enabled: self.criterion.enabled,
+            label: format!("{}/{}", self.name, id.into().label),
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            enabled: self.criterion.enabled,
+            label: format!("{}/{}", self.name, id.into().label),
+        };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_invokes_closure() {
+        let mut c = Criterion { enabled: true };
+        let mut runs = 0;
+        c.bench_function("demo", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        assert_eq!(runs, ITERATIONS);
+    }
+
+    #[test]
+    fn disabled_bencher_skips_work() {
+        let mut c = Criterion { enabled: false };
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 1), &5, |b, _| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("cg", 16).label, "cg/16");
+        assert_eq!(BenchmarkId::from_parameter(64).label, "64");
+    }
+}
