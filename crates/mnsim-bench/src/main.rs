@@ -1,26 +1,62 @@
 //! `repro` — regenerate every table and figure of the MNSIM paper.
 //!
 //! ```text
-//! repro <experiment>   where experiment is one of:
+//! repro <experiment> [--metrics <path>]   where experiment is one of:
 //!   table2 table3 table4 table5 table6 table7
 //!   fig5 fig6 fig7 fig8 fig9 jpeg all
 //! ```
+//!
+//! With `--metrics <path>` the run executes inside an observability session
+//! ([`mnsim_obs`]) and writes the final [`mnsim_obs::MetricsSnapshot`] as
+//! JSON to `path` (solver iteration counts, recovery-ladder rungs, pipeline
+//! stage timings, DSE throughput, …).
 
 use mnsim_bench::experiments;
+use mnsim_obs as obs;
 use mnsim_tech::interconnect::InterconnectNode;
 
 fn main() {
-    let experiment = std::env::args().nth(1).unwrap_or_else(|| {
+    let mut experiment = None;
+    let mut metrics_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics" => {
+                metrics_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics requires a file path");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            _ if experiment.is_none() => experiment = Some(arg),
+            _ => {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let experiment = experiment.unwrap_or_else(|| {
         eprintln!("{USAGE}");
         std::process::exit(2);
     });
+
+    let session = metrics_path.as_ref().map(|_| obs::session());
     if let Err(e) = dispatch(&experiment) {
         eprintln!("error while running `{experiment}`: {e}");
         std::process::exit(1);
     }
+    if let Some(path) = metrics_path {
+        let json = obs::snapshot().to_json();
+        drop(session);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error writing metrics to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
+    }
 }
 
-const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|all>";
+const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|all> [--metrics <path>]";
 
 fn dispatch(experiment: &str) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {

@@ -7,8 +7,17 @@
 //! the wide conductance spread between ohm-scale wire segments and
 //! megaohm-scale memristor cells.
 
+use mnsim_obs as obs;
+
 use crate::error::CircuitError;
 use crate::sparse::CsrMatrix;
+
+static CG_SOLVES: obs::Counter = obs::Counter::new("circuit.cg.solves");
+static CG_ITERATIONS: obs::Counter = obs::Counter::new("circuit.cg.iterations");
+static CG_ITERATIONS_PER_SOLVE: obs::Histogram =
+    obs::Histogram::new("circuit.cg.iterations_per_solve");
+static CG_FINAL_RESIDUAL: obs::Histogram = obs::Histogram::new("circuit.cg.final_residual");
+static CG_NO_CONVERGENCE: obs::Counter = obs::Counter::new("circuit.cg.no_convergence");
 
 /// Options controlling the conjugate-gradient iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,12 +145,19 @@ pub fn solve_cg(a: &CsrMatrix, b: &[f64], options: &CgOptions) -> Result<(Vec<f6
     }
 
     if residual > options.tolerance {
+        CG_NO_CONVERGENCE.inc();
+        CG_ITERATIONS.add(iterations as u64);
         return Err(CircuitError::LinearNoConvergence {
             iterations,
             residual,
             tolerance: options.tolerance,
         });
     }
+
+    CG_SOLVES.inc();
+    CG_ITERATIONS.add(iterations as u64);
+    CG_ITERATIONS_PER_SOLVE.record(iterations as f64);
+    CG_FINAL_RESIDUAL.record(residual);
 
     Ok((x, CgStats {
         iterations,

@@ -19,10 +19,43 @@
 //! [`RecoveryReport`] stating *how* the answer was obtained and how much to
 //! trust it.
 
+use mnsim_obs as obs;
+
 use crate::cg::CgOptions;
 use crate::error::CircuitError;
 use crate::mna::{Circuit, DcSolution, Element};
 use crate::solve::{solve_dc, Method, SolveOptions};
+
+static ROBUST_SOLVES: obs::Counter = obs::Counter::new("circuit.recovery.solves");
+static ROBUST_FALLBACKS: obs::Counter = obs::Counter::new("circuit.recovery.fallbacks");
+static ROBUST_EXHAUSTED: obs::Counter = obs::Counter::new("circuit.recovery.exhausted");
+static ROBUST_SPAN: obs::Span = obs::Span::new("circuit.recovery.solve");
+static KCL_RESIDUAL: obs::Histogram = obs::Histogram::new("circuit.recovery.kcl_residual");
+
+static ATTEMPT_BASE: obs::Counter = obs::Counter::new("circuit.recovery.attempts.base");
+static ATTEMPT_RELAXED: obs::Counter = obs::Counter::new("circuit.recovery.attempts.relaxed_cg");
+static ATTEMPT_DENSE: obs::Counter = obs::Counter::new("circuit.recovery.attempts.dense_lu");
+static ACCEPT_BASE: obs::Counter = obs::Counter::new("circuit.recovery.accepted.base");
+static ACCEPT_RELAXED: obs::Counter = obs::Counter::new("circuit.recovery.accepted.relaxed_cg");
+static ACCEPT_DENSE: obs::Counter = obs::Counter::new("circuit.recovery.accepted.dense_lu");
+
+impl RecoveryStage {
+    fn attempt_counter(self) -> &'static obs::Counter {
+        match self {
+            RecoveryStage::Base => &ATTEMPT_BASE,
+            RecoveryStage::RelaxedCg => &ATTEMPT_RELAXED,
+            RecoveryStage::DenseLu => &ATTEMPT_DENSE,
+        }
+    }
+
+    fn accept_counter(self) -> &'static obs::Counter {
+        match self {
+            RecoveryStage::Base => &ACCEPT_BASE,
+            RecoveryStage::RelaxedCg => &ACCEPT_RELAXED,
+            RecoveryStage::DenseLu => &ACCEPT_DENSE,
+        }
+    }
+}
 
 /// Options for [`solve_robust`].
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +142,8 @@ pub fn solve_robust(
     circuit: &Circuit,
     options: &RobustOptions,
 ) -> Result<(DcSolution, RecoveryReport), CircuitError> {
+    let _span = ROBUST_SPAN.enter();
+    ROBUST_SOLVES.inc();
     let relaxed = SolveOptions {
         method: Method::Cg,
         cg: CgOptions {
@@ -132,10 +167,16 @@ pub fn solve_robust(
     let mut attempts = Vec::new();
     let mut last_error = None;
     for (stage, solve_options) in ladder {
+        stage.attempt_counter().inc();
         match attempt(circuit, &solve_options, stage) {
             Ok(solution) => {
+                stage.accept_counter().inc();
+                if stage != RecoveryStage::Base {
+                    ROBUST_FALLBACKS.inc();
+                }
                 attempts.push(Attempt { stage, error: None });
                 let kcl_residual = kcl_residual(circuit, &solution);
+                KCL_RESIDUAL.record(kcl_residual);
                 return Ok((
                     solution,
                     RecoveryReport {
@@ -155,6 +196,7 @@ pub fn solve_robust(
         }
     }
     // The ladder always has at least one rung, so an error was recorded.
+    ROBUST_EXHAUSTED.inc();
     Err(last_error.unwrap_or(CircuitError::InvalidElement {
         reason: "recovery ladder ran no attempts".into(),
     }))

@@ -16,9 +16,17 @@
 
 use std::collections::HashMap;
 
+use mnsim_obs as obs;
 use mnsim_tech::memristor::IvModel;
 
 use crate::cg::{solve_cg, CgOptions};
+
+static DC_SOLVES: obs::Counter = obs::Counter::new("circuit.solve.dc_solves");
+static DC_SPAN: obs::Span = obs::Span::new("circuit.solve.dc");
+static LINEAR_DENSE: obs::Counter = obs::Counter::new("circuit.solve.dense_lu");
+static LINEAR_CG: obs::Counter = obs::Counter::new("circuit.solve.cg");
+static LINEAR_FULL_MNA: obs::Counter = obs::Counter::new("circuit.solve.full_mna");
+static NEWTON_ITERATIONS: obs::Counter = obs::Counter::new("circuit.solve.newton_iterations");
 use crate::dense::DenseMatrix;
 use crate::error::CircuitError;
 use crate::mna::{Circuit, DcSolution, Element};
@@ -81,6 +89,8 @@ pub(crate) struct Linearized {
 /// [`CircuitError::NewtonNoConvergence`]) and topology errors (a node driven
 /// by two conflicting sources, CG requested for floating sources).
 pub fn solve_dc(circuit: &Circuit, options: &SolveOptions) -> Result<DcSolution, CircuitError> {
+    let _span = DC_SPAN.enter();
+    DC_SOLVES.inc();
     if circuit.is_nonlinear() {
         solve_newton(circuit, options)
     } else {
@@ -97,6 +107,7 @@ fn solve_newton(circuit: &Circuit, options: &SolveOptions) -> Result<DcSolution,
     let mut voltages = solve_linear(circuit, &lin0, options)?;
 
     for _ in 0..options.newton_max_iterations {
+        NEWTON_ITERATIONS.inc();
         let lin = linearize(circuit, Some(&voltages));
         let next = solve_linear(circuit, &lin, options)?;
         let max_update = voltages
@@ -303,9 +314,11 @@ fn solve_reduced(
     let x = if unknowns == 0 {
         Vec::new()
     } else if use_dense {
+        LINEAR_DENSE.inc();
         let csr = triplets.to_csr();
         DenseMatrix::from_rows(&csr.to_dense()).solve(&b)?
     } else {
+        LINEAR_CG.inc();
         let csr = triplets.to_csr();
         solve_cg(&csr, &b, &options.cg)?.0
     };
@@ -362,6 +375,7 @@ fn solve_full_mna(
     circuit: &Circuit,
     lin: &[Option<Linearized>],
 ) -> Result<Vec<f64>, CircuitError> {
+    LINEAR_FULL_MNA.inc();
     let n_nodes = circuit.node_count();
     let n_v = n_nodes - 1; // unknown node voltages (ground excluded)
     let sources: Vec<usize> = circuit

@@ -9,12 +9,22 @@
 //! filtering.
 
 use std::sync::Mutex;
+use std::time::Instant;
 
+use mnsim_obs as obs;
 use mnsim_tech::interconnect::InterconnectNode;
 
 use crate::config::Config;
 use crate::error::CoreError;
 use crate::simulate::{simulate, Report};
+
+static DSE_POINTS: obs::Counter = obs::Counter::new("core.dse.points");
+static DSE_FEASIBLE: obs::Counter = obs::Counter::new("core.dse.feasible");
+static DSE_INFEASIBLE: obs::Counter = obs::Counter::new("core.dse.infeasible");
+static DSE_ERRORS: obs::Counter = obs::Counter::new("core.dse.errors");
+static POINT_SPAN: obs::Span = obs::Span::new("core.dse.point");
+static EXPLORE_SPAN: obs::Span = obs::Span::new("core.dse.explore");
+static POINTS_PER_SEC: obs::Gauge = obs::Gauge::new("core.dse.points_per_sec");
 
 /// The swept parameter ranges.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -275,18 +285,30 @@ pub fn explore(
     space: &DesignSpace,
     constraints: &Constraints,
 ) -> Result<DseResult, CoreError> {
+    let _span = EXPLORE_SPAN.enter();
+    let started = Instant::now();
     let combos = space.combinations();
     let mut feasible = Vec::new();
     for &(size, p, wire) in &combos {
         let point = evaluate_point(base, size, p, wire)?;
-        if constraints.admits(&point.report) {
+        let admitted = constraints.admits(&point.report);
+        record_admission(admitted);
+        if admitted {
             feasible.push(point);
         }
     }
+    record_throughput(combos.len(), started);
     finish(combos.len(), feasible, constraints)
 }
 
 /// Multi-threaded variant of [`explore`].
+///
+/// Unlike [`explore`] — which stops at the first evaluation error — every
+/// combination is still evaluated when one fails: an error in one chunk
+/// never silently skips the losing thread's remaining points. If any
+/// evaluation failed, the error belonging to the *earliest* combination in
+/// traversal order is returned, which is exactly the error a serial
+/// [`explore`] reports.
 ///
 /// # Errors
 ///
@@ -297,32 +319,40 @@ pub fn explore_parallel(
     constraints: &Constraints,
     threads: usize,
 ) -> Result<DseResult, CoreError> {
+    let _span = EXPLORE_SPAN.enter();
+    let started = Instant::now();
     let combos = space.combinations();
     let threads = threads.max(1).min(combos.len().max(1));
+    let chunk_size = combos.len().div_ceil(threads).max(1);
     let feasible = Mutex::new(Vec::new());
-    let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
+    // The error of the earliest-failing combination, by traversal index.
+    let first_error: Mutex<Option<(usize, CoreError)>> = Mutex::new(None);
 
     let feasible_ref = &feasible;
     let first_error_ref = &first_error;
     std::thread::scope(|scope| {
-        for chunk in combos.chunks(combos.len().div_ceil(threads).max(1)) {
+        for (chunk_index, chunk) in combos.chunks(chunk_size).enumerate() {
             scope.spawn(move || {
                 let mut local = Vec::new();
-                for &(size, p, wire) in chunk {
+                for (offset, &(size, p, wire)) in chunk.iter().enumerate() {
                     match evaluate_point(base, size, p, wire) {
                         Ok(point) => {
-                            if constraints.admits(&point.report) {
+                            let admitted = constraints.admits(&point.report);
+                            record_admission(admitted);
+                            if admitted {
                                 local.push(point);
                             }
                         }
                         Err(e) => {
+                            let combo_index = chunk_index * chunk_size + offset;
                             let mut slot = first_error_ref
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-                            if slot.is_none() {
-                                *slot = Some(e);
+                            if slot.as_ref().is_none_or(|(i, _)| combo_index < *i) {
+                                *slot = Some((combo_index, e));
                             }
-                            return;
+                            // Keep evaluating the rest of this chunk: an
+                            // error elsewhere must not drop coverage.
                         }
                     }
                 }
@@ -333,8 +363,9 @@ pub fn explore_parallel(
             });
         }
     });
+    record_throughput(combos.len(), started);
 
-    if let Some(e) = first_error
+    if let Some((_, e)) = first_error
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
     {
@@ -354,17 +385,34 @@ fn evaluate_point(
     parallelism: usize,
     interconnect: InterconnectNode,
 ) -> Result<DesignPoint, CoreError> {
+    let _span = POINT_SPAN.enter();
+    DSE_POINTS.inc();
     let mut config = base.clone();
     config.crossbar_size = size;
     config.parallelism = parallelism;
     config.interconnect = interconnect;
-    let report = simulate(&config)?;
+    let report = simulate(&config).inspect_err(|_| DSE_ERRORS.inc())?;
     Ok(DesignPoint {
         crossbar_size: size,
         parallelism,
         interconnect,
         report,
     })
+}
+
+fn record_admission(admitted: bool) {
+    if admitted {
+        DSE_FEASIBLE.inc();
+    } else {
+        DSE_INFEASIBLE.inc();
+    }
+}
+
+fn record_throughput(points: usize, started: Instant) {
+    let elapsed = started.elapsed().as_secs_f64();
+    if elapsed > 0.0 {
+        POINTS_PER_SEC.set(points as f64 / elapsed);
+    }
 }
 
 fn finish(

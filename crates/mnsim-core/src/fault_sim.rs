@@ -14,9 +14,12 @@
 //! produces a bit-identical [`FaultSummary`], so regression baselines and
 //! replayed defect maps stay meaningful.
 
+use std::sync::Mutex;
+
 use mnsim_circuit::crossbar::CrossbarSpec;
 use mnsim_circuit::recovery::{solve_robust, RobustOptions};
 use mnsim_circuit::solve::{solve_dc, SolveOptions};
+use mnsim_obs as obs;
 use mnsim_nn::fault::weight_damage_levels;
 use mnsim_nn::quantize::Quantizer;
 use mnsim_nn::tensor::Tensor;
@@ -28,6 +31,12 @@ use rand::{Rng, SeedableRng};
 use crate::config::Config;
 use crate::error::CoreError;
 use crate::simulate::{simulate, Report};
+
+static FAULT_CAMPAIGNS: obs::Counter = obs::Counter::new("core.fault.campaigns");
+static FAULT_TRIALS: obs::Counter = obs::Counter::new("core.fault.trials");
+static FAULT_RETIRED: obs::Counter = obs::Counter::new("core.fault.retired_trials");
+static CAMPAIGN_SPAN: obs::Span = obs::Span::new("core.fault.campaign");
+static TRIAL_SPAN: obs::Span = obs::Span::new("core.fault.trial");
 
 /// Side length cap of the representative crossbar solved at circuit level.
 ///
@@ -50,6 +59,11 @@ pub struct FaultConfig {
     /// Defective-cell fraction (after spare-row repair) beyond which the
     /// bank is retired instead of operated degraded.
     pub retire_threshold: f64,
+    /// Worker threads for the Monte-Carlo trial loop; `0` uses the
+    /// available parallelism, `1` forces the serial path. Trials are
+    /// seed-decorrelated and reduced in trial order, so the result is
+    /// bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for FaultConfig {
@@ -60,6 +74,7 @@ impl Default for FaultConfig {
             seed: 0x00C0_FFEE,
             spare_rows: 2,
             retire_threshold: 0.25,
+            threads: 0,
         }
     }
 }
@@ -136,6 +151,153 @@ fn trial_seed(master: u64, trial: usize) -> u64 {
     master ^ (trial as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Immutable per-campaign state shared by every Monte-Carlo trial.
+struct TrialContext<'a> {
+    fault_config: &'a FaultConfig,
+    device: &'a mnsim_tech::memristor::MemristorModel,
+    clean_spec: &'a CrossbarSpec,
+    clean_outputs: &'a [Voltage],
+    weights: &'a Tensor,
+    weight_quantizer: &'a Quantizer,
+    output_span: f64,
+    v_read: f64,
+}
+
+/// Everything one trial contributes to the summary. Outcomes are reduced
+/// in trial order, so aggregates are bit-identical for any thread count.
+struct TrialOutcome {
+    spare_rows_used: usize,
+    retired: bool,
+    solve: Option<SolveOutcome>,
+}
+
+/// The circuit- and behavior-level measurements of one surviving trial.
+struct SolveOutcome {
+    fallback: bool,
+    kcl_residual: f64,
+    deviations: Vec<f64>,
+    weight_damage: f64,
+}
+
+/// Runs one Monte-Carlo trial: draw the fault map, apply graceful
+/// degradation, and (if the array survives) solve the circuit path and
+/// mirror the behavior path.
+fn run_trial(context: &TrialContext<'_>, trial: usize) -> Result<TrialOutcome, CoreError> {
+    let _span = TRIAL_SPAN.enter();
+    FAULT_TRIALS.inc();
+    let fault_config = context.fault_config;
+    let size = context.clean_spec.rows;
+    let mut map = FaultMap::generate(
+        size,
+        size,
+        &fault_config.rates,
+        trial_seed(fault_config.seed, trial),
+    )?;
+
+    // Graceful degradation, stage 1: remap the worst rows to spares.
+    let defective_rows = map.defective_rows();
+    let repaired = defective_rows.len().min(fault_config.spare_rows);
+    for &row in defective_rows.iter().take(fault_config.spare_rows) {
+        map.clear_row(row);
+    }
+
+    // Stage 2: retire arrays still beyond the defect threshold.
+    if map.defective_cell_fraction() > fault_config.retire_threshold {
+        FAULT_RETIRED.inc();
+        return Ok(TrialOutcome {
+            spare_rows_used: repaired,
+            retired: true,
+            solve: None,
+        });
+    }
+
+    // Circuit path: the recovery ladder must absorb whatever the defect
+    // map does to the system's conditioning.
+    let faulty_spec = context
+        .clean_spec
+        .clone()
+        .with_faults(map.clone(), context.device.r_max, context.device.r_min);
+    let (solution, recovery) = solve_robust(faulty_spec.build()?.circuit(), &RobustOptions::default())?;
+
+    let faulty_xbar = faulty_spec.build()?;
+    let faulty_outputs = faulty_xbar.output_voltages(&solution);
+    let deviations = context
+        .clean_outputs
+        .iter()
+        .zip(&faulty_outputs)
+        .map(|(clean, faulty)| {
+            let relative = (clean.volts() - faulty.volts()).abs() / context.v_read;
+            relative * context.output_span
+        })
+        .collect();
+
+    // Behavior path: same map, weight-level mirror.
+    let weight_damage = weight_damage_levels(context.weights, context.weight_quantizer, &map)?;
+
+    Ok(TrialOutcome {
+        spare_rows_used: repaired,
+        retired: false,
+        solve: Some(SolveOutcome {
+            fallback: recovery.fallback_fired(),
+            kcl_residual: recovery.kcl_residual,
+            deviations,
+            weight_damage,
+        }),
+    })
+}
+
+/// Runs every trial, serially or chunked over `std::thread::scope` workers
+/// (the same pattern as [`crate::dse::explore_parallel`]), and returns the
+/// outcomes ordered by trial index. On failure the error of the earliest
+/// trial is returned regardless of thread interleaving.
+fn run_trials(
+    context: &TrialContext<'_>,
+    trials: usize,
+    threads: usize,
+) -> Result<Vec<TrialOutcome>, CoreError> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(trials.max(1));
+
+    if threads <= 1 {
+        return (0..trials).map(|trial| run_trial(context, trial)).collect();
+    }
+
+    let indices: Vec<usize> = (0..trials).collect();
+    let chunk_size = trials.div_ceil(threads).max(1);
+    let collected: Mutex<Vec<(usize, Result<TrialOutcome, CoreError>)>> =
+        Mutex::new(Vec::with_capacity(trials));
+    let collected_ref = &collected;
+    std::thread::scope(|scope| {
+        for chunk in indices.chunks(chunk_size) {
+            scope.spawn(move || {
+                let local: Vec<_> = chunk
+                    .iter()
+                    .map(|&trial| (trial, run_trial(context, trial)))
+                    .collect();
+                collected_ref
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut collected = collected
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    collected.sort_by_key(|(trial, _)| *trial);
+    collected
+        .into_iter()
+        .map(|(_, outcome)| outcome)
+        .collect()
+}
+
 /// Runs the full MNSIM simulation plus a fault-injection campaign.
 ///
 /// The returned [`Report`] is the clean behavior-level result with
@@ -152,6 +314,8 @@ pub fn simulate_with_faults(
     config: &Config,
     fault_config: &FaultConfig,
 ) -> Result<Report, CoreError> {
+    let _span = CAMPAIGN_SPAN.enter();
+    FAULT_CAMPAIGNS.inc();
     fault_config.validate()?;
     let mut report = simulate(config)?;
 
@@ -196,9 +360,19 @@ pub fn simulate_with_faults(
             .collect(),
     )?;
 
-    let output_span = (config.output_levels() - 1) as f64;
-    let v_read = device.v_read.volts();
+    let context = TrialContext {
+        fault_config,
+        device,
+        clean_spec: &clean_spec,
+        clean_outputs: &clean_outputs,
+        weights: &weights,
+        weight_quantizer: &weight_quantizer,
+        output_span: (config.output_levels() - 1) as f64,
+        v_read: device.v_read.volts(),
+    };
+    let outcomes = run_trials(&context, fault_config.trials, fault_config.threads)?;
 
+    // Reduce in trial order so sums are bit-identical to the serial loop.
     let mut retired_trials = 0usize;
     let mut spare_rows_used = 0usize;
     let mut solves = 0usize;
@@ -208,52 +382,21 @@ pub fn simulate_with_faults(
     let mut weight_damage_sum = 0.0f64;
     let mut damage_samples = 0usize;
 
-    for trial in 0..fault_config.trials {
-        let mut map = FaultMap::generate(
-            size,
-            size,
-            &fault_config.rates,
-            trial_seed(fault_config.seed, trial),
-        )?;
-
-        // Graceful degradation, stage 1: remap the worst rows to spares.
-        let defective_rows = map.defective_rows();
-        let repaired = defective_rows.len().min(fault_config.spare_rows);
-        for &row in defective_rows.iter().take(fault_config.spare_rows) {
-            map.clear_row(row);
-        }
-        spare_rows_used += repaired;
-
-        // Stage 2: retire arrays still beyond the defect threshold.
-        if map.defective_cell_fraction() > fault_config.retire_threshold {
+    for outcome in &outcomes {
+        spare_rows_used += outcome.spare_rows_used;
+        if outcome.retired {
             retired_trials += 1;
-            continue;
         }
-
-        // Circuit path: the recovery ladder must absorb whatever the defect
-        // map does to the system's conditioning.
-        let faulty_spec =
-            clean_spec
-                .clone()
-                .with_faults(map.clone(), device.r_max, device.r_min);
-        let (solution, recovery) =
-            solve_robust(faulty_spec.build()?.circuit(), &RobustOptions::default())?;
-        solves += 1;
-        if recovery.fallback_fired() {
-            fallback_solves += 1;
+        if let Some(solve) = &outcome.solve {
+            solves += 1;
+            if solve.fallback {
+                fallback_solves += 1;
+            }
+            worst_kcl_residual = worst_kcl_residual.max(solve.kcl_residual);
+            deviation_samples.extend_from_slice(&solve.deviations);
+            weight_damage_sum += solve.weight_damage;
+            damage_samples += 1;
         }
-        worst_kcl_residual = worst_kcl_residual.max(recovery.kcl_residual);
-
-        let faulty_xbar = faulty_spec.build()?;
-        let faulty_outputs = faulty_xbar.output_voltages(&solution);
-        for (clean, faulty) in clean_outputs.iter().zip(&faulty_outputs) {
-            let relative = (clean.volts() - faulty.volts()).abs() / v_read;
-            deviation_samples.push(relative * output_span);
-        }
-
-        // Behavior path: same map, weight-level mirror.
-        weight_damage_sum += weight_damage_levels(&weights, &weight_quantizer, &map)?;
-        damage_samples += 1;
     }
 
     deviation_samples.sort_by(|a, b| a.total_cmp(b));

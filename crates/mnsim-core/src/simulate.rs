@@ -2,6 +2,8 @@
 //! hierarchy from the configuration, evaluate modules bottom-up, and attach
 //! the computing-accuracy estimation.
 
+use mnsim_obs as obs;
+use mnsim_obs::MetricsSnapshot;
 use mnsim_tech::units::{Area, Energy, Power, Time};
 
 use crate::accuracy::{propagate, AccuracyModel, Case, LayerAccuracy};
@@ -9,6 +11,12 @@ use crate::arch::accelerator::{evaluate_accelerator, AcceleratorModelResult};
 use crate::config::Config;
 use crate::error::CoreError;
 use crate::fault_sim::FaultSummary;
+
+static SIMULATE_RUNS: obs::Counter = obs::Counter::new("core.simulate.runs");
+static SIMULATE_SPAN: obs::Span = obs::Span::new("core.simulate.total");
+static STAGE_ACCELERATOR: obs::Span = obs::Span::new("core.simulate.stage.accelerator");
+static STAGE_ACCURACY: obs::Span = obs::Span::new("core.simulate.stage.accuracy");
+static STAGE_PROPAGATE: obs::Span = obs::Span::new("core.simulate.stage.propagate");
 
 /// The complete simulation result for one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +47,20 @@ pub struct Report {
     /// Fault-injection campaign results; `None` for a clean simulation
     /// (populated by [`crate::fault_sim::simulate_with_faults`]).
     pub faults: Option<FaultSummary>,
+    /// Observability snapshot; `None` unless attached via
+    /// [`Report::with_metrics`] (e.g. by a `--metrics` run).
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+impl Report {
+    /// Attaches an observability snapshot (typically
+    /// [`mnsim_obs::snapshot`] taken after the run that produced this
+    /// report).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsSnapshot) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
 }
 
 /// Runs the full MNSIM simulation for `config`.
@@ -47,26 +69,38 @@ pub struct Report {
 ///
 /// Returns configuration validation errors.
 pub fn simulate(config: &Config) -> Result<Report, CoreError> {
-    let accelerator = evaluate_accelerator(config)?;
-    let accuracy = AccuracyModel::from_config(config);
+    let _span = SIMULATE_SPAN.enter();
+    SIMULATE_RUNS.inc();
+
+    let accelerator = {
+        let _stage = STAGE_ACCELERATOR.enter();
+        evaluate_accelerator(config)?
+    };
 
     // ε per bank: the crossbar geometry actually used by its units.
-    let epsilons: Vec<f64> = accelerator
-        .banks
-        .iter()
-        .map(|bank| {
-            accuracy.error_rate(
-                bank.unit.rows_used,
-                bank.unit.physical_cols,
-                config.interconnect,
-                &config.device,
-                Case::Worst,
-            )
-        })
-        .collect();
+    let epsilons: Vec<f64> = {
+        let _stage = STAGE_ACCURACY.enter();
+        let accuracy = AccuracyModel::from_config(config);
+        accelerator
+            .banks
+            .iter()
+            .map(|bank| {
+                accuracy.error_rate(
+                    bank.unit.rows_used,
+                    bank.unit.physical_cols,
+                    config.interconnect,
+                    &config.device,
+                    Case::Worst,
+                )
+            })
+            .collect()
+    };
     let worst_crossbar_epsilon = epsilons.iter().cloned().fold(0.0, f64::max);
 
-    let layer_accuracy = propagate(&epsilons, config.output_levels());
+    let layer_accuracy = {
+        let _stage = STAGE_PROPAGATE.enter();
+        propagate(&epsilons, config.output_levels())
+    };
     let last = layer_accuracy
         .last()
         .ok_or_else(|| CoreError::InvalidConfig {
@@ -89,6 +123,7 @@ pub fn simulate(config: &Config) -> Result<Report, CoreError> {
         output_max_error_rate,
         output_avg_error_rate,
         faults: None,
+        metrics: None,
     })
 }
 

@@ -5,9 +5,14 @@
 //! experiments (the 64-16-64 JPEG-style autoencoder of §VII.A and synthetic
 //! classifiers). Mean-squared-error loss, full-batch or mini-batch SGD.
 
+use mnsim_obs as obs;
 use rand::Rng;
 
 use crate::error::NnError;
+
+static TRAIN_EPOCHS: obs::Counter = obs::Counter::new("nn.train.epochs");
+static TRAIN_SAMPLES: obs::Counter = obs::Counter::new("nn.train.samples");
+static EPOCH_SPAN: obs::Span = obs::Span::new("nn.train.epoch");
 use crate::layers::{Activation, FullyConnected, Layer};
 use crate::network::Network;
 use crate::tensor::Tensor;
@@ -177,6 +182,9 @@ impl Mlp {
         }
         let mut history = Vec::with_capacity(epochs);
         for _ in 0..epochs {
+            let _epoch = EPOCH_SPAN.enter();
+            TRAIN_EPOCHS.inc();
+            TRAIN_SAMPLES.add(samples.len() as u64);
             let mut total = 0.0;
             for (input, target) in samples {
                 total += self.train_sample(input, target, learning_rate)?;

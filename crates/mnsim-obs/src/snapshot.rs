@@ -1,0 +1,252 @@
+//! Point-in-time metric snapshots with hand-rolled JSON and CSV export
+//! (the workspace is offline, so no `serde`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One histogram bucket: `count` observations at or below `le`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketCount {
+    /// Upper edge of the bucket (`+inf` for the overflow bucket).
+    pub le: f64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// Aggregated view of one histogram or span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Unit of the recorded values (`"seconds"` for spans, empty for plain
+    /// histograms).
+    pub unit: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Non-empty buckets in increasing edge order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Everything the registry knew at snapshot time. Attachable to
+/// `mnsim_core::simulate::Report` and exportable as JSON or CSV.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms and spans by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Convenience counter lookup (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serializes to a self-contained JSON document.
+    ///
+    /// Non-finite numbers are encoded as `null` (JSON has no `inf`/`nan`),
+    /// which only occurs for the overflow bucket edge.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        write_map(&mut out, self.counters.iter(), |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\n  \"gauges\": {");
+        write_map(&mut out, self.gauges.iter(), |out, v| {
+            write_json_number(out, *v);
+        });
+        out.push_str("},\n  \"histograms\": {");
+        write_map(&mut out, self.histograms.iter(), |out, hist| {
+            let _ = write!(out, "{{\"unit\": ");
+            write_json_string(out, &hist.unit);
+            let _ = write!(out, ", \"count\": {}, \"sum\": ", hist.count);
+            write_json_number(out, hist.sum);
+            out.push_str(", \"min\": ");
+            write_json_number(out, hist.min);
+            out.push_str(", \"max\": ");
+            write_json_number(out, hist.max);
+            out.push_str(", \"mean\": ");
+            write_json_number(out, hist.mean());
+            out.push_str(", \"buckets\": [");
+            for (i, bucket) in hist.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"le\": ");
+                write_json_number(out, bucket.le);
+                let _ = write!(out, ", \"count\": {}}}", bucket.count);
+            }
+            out.push_str("]}");
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Serializes to CSV: one row per metric with the header
+    /// `kind,name,unit,count,sum,min,max,mean`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,unit,count,sum,min,max,mean\n");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter,{name},,{value},,,,");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge,{name},,,{value},,,");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram,{name},{},{},{},{},{},{}",
+                hist.unit,
+                hist.count,
+                hist.sum,
+                hist.min,
+                hist.max,
+                hist.mean()
+            );
+        }
+        out
+    }
+}
+
+/// Writes `"key": <value>` pairs with comma separation.
+fn write_map<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (key, value) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        write_json_string(out, key);
+        out.push_str(": ");
+        write_value(out, value);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON number or `null` for non-finite values.
+fn write_json_number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` keeps full precision and always includes a decimal point
+        // or exponent, so the output parses back to the identical f64.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_json;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("a.count".into(), 42);
+        snap.gauges.insert("b.rate".into(), 1234.5);
+        snap.histograms.insert(
+            "c.time".into(),
+            HistogramSnapshot {
+                unit: "seconds".into(),
+                count: 3,
+                sum: 0.6,
+                min: 0.1,
+                max: 0.3,
+                buckets: vec![
+                    BucketCount { le: 0.25, count: 2 },
+                    BucketCount {
+                        le: f64::INFINITY,
+                        count: 1,
+                    },
+                ],
+            },
+        );
+        snap
+    }
+
+    #[test]
+    fn json_is_valid_and_contains_metrics() {
+        let json = sample().to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"a.count\": 42"));
+        assert!(json.contains("\"b.rate\": 1234.5"));
+        assert!(json.contains("\"unit\": \"seconds\""));
+        assert!(json.contains("\"le\": null")); // +inf encoded as null
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let snap = MetricsSnapshot::default();
+        assert!(snap.is_empty());
+        validate_json(&snap.to_json()).unwrap();
+    }
+
+    #[test]
+    fn csv_has_one_row_per_metric() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 metrics
+        assert!(csv.starts_with("kind,name,unit,"));
+        assert!(csv.contains("counter,a.count,,42"));
+        assert!(csv.contains("histogram,c.time,seconds,3"));
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        assert_eq!(sample().counter("a.count"), 42);
+        assert_eq!(sample().counter("missing"), 0);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

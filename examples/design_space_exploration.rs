@@ -4,15 +4,19 @@
 //! and the Pareto front.
 //!
 //! ```text
-//! cargo run --release --example design_space_exploration
+//! cargo run --release --example design_space_exploration [-- --metrics <path>]
 //! ```
 
 use mnsim::core::config::{Config, Precision};
 use mnsim::core::dse::{explore_parallel, Constraints, DesignSpace, Objective};
 use mnsim::nn::models;
+use mnsim::obs;
 use mnsim::tech::cmos::CmosNode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let metrics_path = metrics_path_from_args()?;
+    let session = metrics_path.as_ref().map(|_| obs::session());
+
     // One 2048×1024 layer, 45 nm CMOS, 4-bit signed weights, 8-bit signals.
     let mut base = Config::for_network(models::large_bank_layer());
     base.cmos = CmosNode::N45;
@@ -67,5 +71,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.report.output_max_error_rate * 100.0,
         );
     }
+
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, obs::snapshot().to_json())?;
+        drop(session);
+        eprintln!("metrics written to {path}");
+    }
     Ok(())
+}
+
+/// Parses an optional `--metrics <path>` argument.
+fn metrics_path_from_args() -> Result<Option<String>, Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            return Ok(Some(
+                args.next().ok_or("--metrics requires a file path")?,
+            ));
+        }
+    }
+    Ok(None)
 }

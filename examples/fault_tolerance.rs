@@ -2,7 +2,7 @@
 //! yield, and solver-fallback behavior degrade gracefully.
 //!
 //! ```text
-//! cargo run --release --example fault_tolerance
+//! cargo run --release --example fault_tolerance [-- --metrics <path>]
 //! ```
 //!
 //! Each sweep point runs a seeded Monte-Carlo fault campaign on top of the
@@ -13,9 +13,13 @@
 use mnsim::core::config::Config;
 use mnsim::core::fault_sim::{simulate_with_faults, FaultConfig};
 use mnsim::core::report::{report_csv_row, CSV_HEADER};
+use mnsim::obs;
 use mnsim::tech::fault::FaultRates;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let metrics_path = metrics_path_from_args()?;
+    let session = metrics_path.as_ref().map(|_| obs::session());
+
     let config = Config::fully_connected_mlp(&[128, 128])?;
 
     println!("stuck-at rate sweep — {} trials per point\n", 8);
@@ -54,5 +58,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nCSV (fault columns are the last four):");
     println!("{csv}");
+
+    if let Some(path) = metrics_path {
+        std::fs::write(&path, obs::snapshot().to_json())?;
+        drop(session);
+        eprintln!("metrics written to {path}");
+    }
     Ok(())
+}
+
+/// Parses an optional `--metrics <path>` argument.
+fn metrics_path_from_args() -> Result<Option<String>, Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics" {
+            return Ok(Some(
+                args.next().ok_or("--metrics requires a file path")?,
+            ));
+        }
+    }
+    Ok(None)
 }

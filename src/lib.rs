@@ -3,6 +3,8 @@
 //! This is the facade crate of the MNSIM reproduction. It re-exports the four
 //! member crates under stable names:
 //!
+//! * [`obs`] — observability layer: counters, histograms, timer spans
+//!   ([`mnsim_obs`]),
 //! * [`tech`] — technology & device models ([`mnsim_tech`]),
 //! * [`circuit`] — SPICE-class DC circuit simulator ([`mnsim_circuit`]),
 //! * [`nn`] — neural-network substrate ([`mnsim_nn`]),
@@ -27,5 +29,6 @@
 
 pub use mnsim_circuit as circuit;
 pub use mnsim_core as core;
+pub use mnsim_obs as obs;
 pub use mnsim_nn as nn;
 pub use mnsim_tech as tech;

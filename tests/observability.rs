@@ -1,0 +1,277 @@
+//! Observability-layer integration tests: the metric counters must tell
+//! the truth about what the solver and the simulation pipeline actually
+//! did.
+//!
+//! Every test in this binary holds the [`mnsim::obs::session`] lock while
+//! running instrumented code. The lock serializes the tests, so the global
+//! registry is never polluted by a concurrently running test.
+
+use mnsim::circuit::cg::CgOptions;
+use mnsim::circuit::solve::{Method, SolveOptions};
+use mnsim::circuit::{solve_robust, Circuit, RecoveryStage, RobustOptions};
+use mnsim::core::config::Config;
+use mnsim::core::dse::{explore, explore_parallel, Constraints, DesignSpace};
+use mnsim::core::fault_sim::{simulate_with_faults, FaultConfig};
+use mnsim::core::simulate::simulate;
+use mnsim::obs;
+use mnsim::tech::fault::FaultRates;
+use mnsim::tech::interconnect::InterconnectNode;
+use mnsim::tech::units::{Resistance, Voltage};
+
+#[test]
+fn clean_fault_campaign_records_no_fallbacks() {
+    let session = obs::session();
+    let fault_config = FaultConfig {
+        rates: FaultRates::default(), // all-zero defect rates
+        trials: 3,
+        ..FaultConfig::default()
+    };
+    let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+    simulate_with_faults(&config, &fault_config).unwrap();
+
+    let snap = session.snapshot();
+    assert_eq!(snap.counter("core.fault.campaigns"), 1);
+    assert_eq!(snap.counter("core.fault.trials"), 3);
+    assert_eq!(snap.counter("core.fault.retired_trials"), 0);
+    // Clean arrays must solve on the base rung: one robust solve per trial,
+    // every one accepted at `Base`, zero fallbacks.
+    assert_eq!(snap.counter("circuit.recovery.solves"), 3);
+    assert_eq!(snap.counter("circuit.recovery.attempts.base"), 3);
+    assert_eq!(snap.counter("circuit.recovery.accepted.base"), 3);
+    assert_eq!(snap.counter("circuit.recovery.fallbacks"), 0);
+    assert_eq!(snap.counter("circuit.recovery.attempts.dense_lu"), 0);
+    // The representative crossbar is solved iteratively underneath.
+    assert!(snap.counter("circuit.cg.solves") > 0);
+    assert!(snap.counter("circuit.cg.iterations") > snap.counter("circuit.cg.solves"));
+}
+
+#[test]
+fn forced_fallback_increments_ladder_counters() {
+    // A 40-resistor series ladder with a one-iteration CG budget: the base
+    // rung cannot converge, so the ladder must escalate and the fallback
+    // counters must say so.
+    let mut c = Circuit::new();
+    let top = c.add_node();
+    c.add_voltage_source(top, Circuit::GROUND, Voltage::from_volts(1.0))
+        .unwrap();
+    let mut prev = top;
+    for _ in 0..40 {
+        let next = c.add_node();
+        c.add_resistor(prev, next, Resistance::from_kilo_ohms(1.0))
+            .unwrap();
+        prev = next;
+    }
+    c.add_resistor(prev, Circuit::GROUND, Resistance::from_kilo_ohms(1.0))
+        .unwrap();
+    let options = RobustOptions {
+        base: SolveOptions {
+            method: Method::Cg,
+            cg: CgOptions {
+                tolerance: 1e-15,
+                max_iterations: 1,
+            },
+            ..SolveOptions::default()
+        },
+        ..RobustOptions::default()
+    };
+
+    let session = obs::session();
+    let (_, report) = solve_robust(&c, &options).unwrap();
+    assert_ne!(report.stage, RecoveryStage::Base);
+
+    let snap = session.snapshot();
+    assert_eq!(snap.counter("circuit.recovery.solves"), 1);
+    assert_eq!(snap.counter("circuit.recovery.fallbacks"), 1);
+    assert_eq!(snap.counter("circuit.recovery.attempts.base"), 1);
+    assert_eq!(snap.counter("circuit.recovery.accepted.base"), 0);
+    // Whatever rung answered, attempts and acceptances must be consistent:
+    // exactly one acceptance, on a non-base rung.
+    let accepted_later = snap.counter("circuit.recovery.accepted.relaxed_cg")
+        + snap.counter("circuit.recovery.accepted.dense_lu");
+    assert_eq!(accepted_later, 1);
+    // The starved base CG burned its budget and was recorded as such.
+    assert!(snap.counter("circuit.cg.no_convergence") >= 1);
+}
+
+#[test]
+fn simulate_records_per_stage_timings() {
+    let session = obs::session();
+    let config = Config::fully_connected_mlp(&[128, 128]).unwrap();
+    simulate(&config).unwrap();
+
+    let snap = session.snapshot();
+    assert_eq!(snap.counter("core.simulate.runs"), 1);
+    for stage in [
+        "core.simulate.total",
+        "core.simulate.stage.accelerator",
+        "core.simulate.stage.accuracy",
+        "core.simulate.stage.propagate",
+    ] {
+        let h = snap
+            .histograms
+            .get(stage)
+            .unwrap_or_else(|| panic!("missing stage histogram {stage}"));
+        assert_eq!(h.count, 1, "{stage}");
+        assert!(h.sum >= 0.0 && h.sum.is_finite(), "{stage}: {}", h.sum);
+    }
+}
+
+#[test]
+fn dse_counters_track_feasibility_split() {
+    let session = obs::session();
+    let base = Config::fully_connected_mlp(&[512, 256]).unwrap();
+    let space = DesignSpace {
+        crossbar_sizes: vec![32, 64, 128],
+        parallelism_degrees: vec![1, 16],
+        interconnects: vec![InterconnectNode::N28, InterconnectNode::N45],
+    };
+    let result = explore(&base, &space, &Constraints::default()).unwrap();
+
+    let snap = session.snapshot();
+    assert_eq!(snap.counter("core.dse.points"), result.evaluated as u64);
+    assert_eq!(
+        snap.counter("core.dse.feasible") + snap.counter("core.dse.infeasible"),
+        result.evaluated as u64
+    );
+    assert_eq!(
+        snap.counter("core.dse.feasible"),
+        result.feasible.len() as u64
+    );
+    assert_eq!(snap.counter("core.dse.errors"), 0);
+    assert!(
+        *snap.gauges.get("core.dse.points_per_sec").unwrap() > 0.0,
+        "throughput gauge must be set"
+    );
+}
+
+#[test]
+fn parallel_dse_error_still_evaluates_every_point() {
+    // Satellite fix regression: a failing combination mid-chunk must not
+    // silently drop the losing thread's remaining points. crossbar 2048 is
+    // a power of two but beyond the supported 1024, so its evaluation
+    // fails `Config::validate` while the space still enumerates it.
+    let base = Config::fully_connected_mlp(&[512, 256]).unwrap();
+    let space = DesignSpace {
+        crossbar_sizes: vec![32, 2048, 64, 128],
+        parallelism_degrees: vec![1],
+        interconnects: vec![InterconnectNode::N45],
+    };
+
+    let session = obs::session();
+    let err = explore_parallel(&base, &space, &Constraints::default(), 2).unwrap_err();
+    let snap = session.snapshot();
+    drop(session);
+
+    // All four combinations were attempted despite the mid-chunk failure.
+    assert_eq!(snap.counter("core.dse.points"), 4);
+    assert_eq!(snap.counter("core.dse.errors"), 1);
+
+    // And the reported error is the one serial traversal reports.
+    let serial_err = explore(&base, &space, &Constraints::default()).unwrap_err();
+    assert_eq!(err.to_string(), serial_err.to_string());
+}
+
+#[test]
+fn snapshot_json_is_valid_and_complete() {
+    // The acceptance list: cg iteration counts, recovery-ladder rung
+    // counts, per-stage simulate timings, and DSE throughput — all in one
+    // machine-readable snapshot.
+    let session = obs::session();
+
+    let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+    let fault_config = FaultConfig {
+        rates: FaultRates::stuck_at(0.02),
+        trials: 2,
+        ..FaultConfig::default()
+    };
+    simulate_with_faults(&config, &fault_config).unwrap();
+    let space = DesignSpace {
+        crossbar_sizes: vec![32, 64],
+        parallelism_degrees: vec![1],
+        interconnects: vec![InterconnectNode::N45],
+    };
+    explore(&config, &space, &Constraints::default()).unwrap();
+
+    let snap = session.snapshot();
+    let json = snap.to_json();
+    obs::validate_json(&json).expect("snapshot JSON must parse");
+
+    for required in [
+        "circuit.cg.iterations",
+        "circuit.recovery.attempts.base",
+        "core.simulate.stage.accelerator",
+        "core.dse.points_per_sec",
+    ] {
+        assert!(json.contains(required), "snapshot JSON lacks {required}");
+    }
+
+    // CSV export carries the same metric names.
+    let csv = snap.to_csv();
+    assert!(csv.starts_with("kind,name,unit,count,sum,min,max,mean"));
+    assert!(csv.contains("counter,circuit.cg.iterations,"));
+}
+
+/// Overhead guard (ignored by default: wall-clock measurements are too
+/// noisy for CI). Run with `cargo test --release -- --ignored overhead`.
+///
+/// The acceptance contract is that the *disabled* registry keeps a DSE
+/// sweep within 5 % of an un-instrumented baseline. That baseline no
+/// longer exists at runtime, so the test bounds the same quantity from
+/// measurements: (disabled per-op cost) × (a generous over-count of the
+/// instrumentation ops per DSE point) must stay below 5 % of the measured
+/// per-point evaluation time.
+#[test]
+#[ignore = "wall-clock measurement; run explicitly in release mode"]
+fn disabled_instrumentation_overhead_is_negligible() {
+    use std::time::Instant;
+
+    let session = obs::session();
+    obs::set_enabled(false);
+
+    // Disabled hot-path ops: must be a branch on a relaxed atomic.
+    static PROBE: obs::Counter = obs::Counter::new("overhead.probe");
+    static PROBE_SPAN: obs::Span = obs::Span::new("overhead.probe_span");
+    const OPS: u32 = 10_000_000;
+    let started = Instant::now();
+    for _ in 0..OPS {
+        PROBE.inc();
+        let _guard = PROBE_SPAN.enter();
+    }
+    // One counter + one span per loop turn, so two metric ops.
+    let per_op = started.elapsed().as_secs_f64() / f64::from(OPS) / 2.0;
+    assert!(
+        per_op < 25e-9,
+        "disabled metric op costs {:.1} ns",
+        per_op * 1e9
+    );
+
+    // Measured per-point cost of a disabled-registry sweep. Each
+    // measurement repeats the sweep to rise above timer noise.
+    let base = Config::fully_connected_mlp(&[512, 256]).unwrap();
+    let space = DesignSpace::paper_large_bank();
+    const REPEATS: usize = 20;
+    let mut sweep_secs = f64::INFINITY;
+    let mut points = 0usize;
+    for _ in 0..5 {
+        let started = Instant::now();
+        for _ in 0..REPEATS {
+            points = explore(&base, &space, &Constraints::default())
+                .unwrap()
+                .evaluated;
+        }
+        sweep_secs = sweep_secs.min(started.elapsed().as_secs_f64());
+    }
+    drop(session);
+    let per_point = sweep_secs / (REPEATS * points) as f64;
+
+    // A DSE point touches the point span, the point/admission counters,
+    // the simulate span, three stage spans and the run counter — a dozen
+    // disabled ops; 32 is a comfortable over-count.
+    let overhead_fraction = 32.0 * per_op / per_point;
+    assert!(
+        overhead_fraction < 0.05,
+        "disabled instrumentation costs {:.2} % of a {:.2} µs DSE point",
+        overhead_fraction * 100.0,
+        per_point * 1e6
+    );
+}

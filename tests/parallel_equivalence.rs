@@ -1,0 +1,157 @@
+//! Parallel-execution equivalence: the threaded traversals must be
+//! observationally identical to their serial counterparts — same feasible
+//! sets, bit-identical statistics, same errors — for any thread count.
+
+use mnsim::core::config::Config;
+use mnsim::core::dse::{explore, explore_parallel, Constraints, DesignPoint, DesignSpace};
+use mnsim::core::error::CoreError;
+use mnsim::core::fault_sim::{simulate_with_faults, FaultConfig};
+use mnsim::tech::fault::FaultRates;
+use mnsim::tech::interconnect::InterconnectNode;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 7, 64];
+
+fn dse_base() -> Config {
+    Config::fully_connected_mlp(&[512, 256]).unwrap()
+}
+
+fn dse_space() -> DesignSpace {
+    DesignSpace {
+        crossbar_sizes: vec![32, 64, 128, 256],
+        parallelism_degrees: vec![1, 8, 32],
+        interconnects: vec![InterconnectNode::N28, InterconnectNode::N45],
+    }
+}
+
+/// Serial traversal order differs from the parallel result's sorted order,
+/// so both sides are sorted by the same key before comparison.
+fn sorted(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
+    points.sort_by_key(|p| (p.crossbar_size, p.parallelism, p.interconnect.nanometers()));
+    points
+}
+
+#[test]
+fn explore_parallel_equals_serial_for_every_thread_count() {
+    let base = dse_base();
+    let space = dse_space();
+    let constraints = Constraints::crossbar_error(0.3);
+    let serial = explore(&base, &space, &constraints).unwrap();
+    let serial_feasible = sorted(serial.feasible.clone());
+    assert!(!serial_feasible.is_empty());
+
+    for threads in THREAD_COUNTS {
+        let parallel = explore_parallel(&base, &space, &constraints, threads).unwrap();
+        assert_eq!(parallel.evaluated, serial.evaluated, "threads={threads}");
+        // Full struct equality: geometry, interconnect, and every report
+        // field must match the serial evaluation exactly.
+        assert_eq!(
+            sorted(parallel.feasible),
+            serial_feasible,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn explore_parallel_propagates_the_serial_error() {
+    // crossbar 2048 enumerates (power of two) but fails validation at
+    // evaluation time, exercising the error path mid-traversal.
+    let base = dse_base();
+    let space = DesignSpace {
+        crossbar_sizes: vec![32, 2048, 64, 128],
+        parallelism_degrees: vec![1, 8],
+        interconnects: vec![InterconnectNode::N45],
+    };
+    let serial_err = explore(&base, &space, &Constraints::default()).unwrap_err();
+    assert!(matches!(serial_err, CoreError::InvalidConfig { .. }));
+
+    for threads in THREAD_COUNTS {
+        let err = explore_parallel(&base, &space, &Constraints::default(), threads).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            serial_err.to_string(),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn explore_parallel_reports_earliest_of_several_errors() {
+    // Two failing combinations; every thread count must deterministically
+    // report the one that comes first in traversal order, as serial does.
+    let base = dse_base();
+    let space = DesignSpace {
+        crossbar_sizes: vec![2048, 32, 4096],
+        parallelism_degrees: vec![1],
+        interconnects: vec![InterconnectNode::N45],
+    };
+    let serial_err = explore(&base, &space, &Constraints::default()).unwrap_err();
+    for threads in THREAD_COUNTS {
+        let err = explore_parallel(&base, &space, &Constraints::default(), threads).unwrap_err();
+        assert_eq!(err.to_string(), serial_err.to_string(), "threads={threads}");
+    }
+}
+
+#[test]
+fn fault_campaign_is_bit_identical_across_thread_counts() {
+    let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+    let rates = FaultRates {
+        broken_wordline: 0.05,
+        broken_bitline: 0.05,
+        ..FaultRates::stuck_at(0.08)
+    };
+    let serial = simulate_with_faults(
+        &config,
+        &FaultConfig {
+            rates,
+            trials: 9,
+            threads: 1,
+            ..FaultConfig::default()
+        },
+    )
+    .unwrap();
+    let serial_faults = serial.faults.expect("campaign attaches a summary");
+    assert!(serial_faults.solves > 0);
+
+    for threads in THREAD_COUNTS {
+        let parallel = simulate_with_faults(
+            &config,
+            &FaultConfig {
+                rates,
+                trials: 9,
+                threads,
+                ..FaultConfig::default()
+            },
+        )
+        .unwrap();
+        // Bit-identical, not approximately equal: trial seeds are derived
+        // from the trial index and outcomes are reduced in trial order.
+        assert_eq!(
+            parallel.faults.expect("campaign attaches a summary"),
+            serial_faults,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn fault_campaign_default_thread_count_matches_serial() {
+    // `threads: 0` (auto) must not change results either.
+    let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+    let fault_config = FaultConfig {
+        rates: FaultRates::stuck_at(0.05),
+        trials: 5,
+        threads: 0,
+        ..FaultConfig::default()
+    };
+    let auto = simulate_with_faults(&config, &fault_config).unwrap();
+    let serial = simulate_with_faults(
+        &config,
+        &FaultConfig {
+            threads: 1,
+            ..fault_config
+        },
+    )
+    .unwrap();
+    assert_eq!(auto.faults, serial.faults);
+}
