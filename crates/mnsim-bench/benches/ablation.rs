@@ -3,6 +3,7 @@
 //! 2. worst-case vs average-case accuracy estimation cost,
 //! 3. dual-crossbar vs shared-crossbar signed-weight mapping
 //!    (full bank evaluation under both mappings),
+//!
 //! plus the paper-linear vs quadratic wire-term model.
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -1,0 +1,101 @@
+//! `mnsim-bench` — the benchmark-trajectory harness.
+//!
+//! ```text
+//! mnsim-bench --json <out.json> [--quick]        run the fixed suite
+//! mnsim-bench --compare <baseline> <current>     diff two BENCH files
+//!             [--threshold <fraction>]           (default 0.15 = 15 %)
+//! ```
+//!
+//! `--compare` prints a comparison table and exits with status 1 when any
+//! entry's median slowed down past the threshold, so CI can surface
+//! regressions while staying informational (the job is non-blocking).
+
+use mnsim_bench::trajectory::{compare, comparison_table, parse_bench_json, run_suite};
+
+const USAGE: &str =
+    "usage: mnsim-bench --json <out.json> [--quick] | mnsim-bench --compare <baseline> <current> [--threshold <fraction>]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--json") => run_json(&args[1..]),
+        Some("--compare") => run_compare(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_json(args: &[String]) {
+    let Some(path) = args.first() else {
+        eprintln!("--json requires an output path\n{USAGE}");
+        std::process::exit(2);
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let report = run_suite(quick).unwrap_or_else(|e| {
+        eprintln!("benchmark suite failed: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("error writing {path}: {e}");
+        std::process::exit(1);
+    }
+    for entry in &report.entries {
+        eprintln!(
+            "{:<16} median {:>10.6} s  p95 {:>10.6} s  ({} runs)",
+            entry.name, entry.median_s, entry.p95_s, entry.runs
+        );
+    }
+    eprintln!("benchmark report written to {path}");
+}
+
+fn run_compare(args: &[String]) {
+    let (Some(baseline_path), Some(current_path)) = (args.first(), args.get(1)) else {
+        eprintln!("--compare requires <baseline> <current>\n{USAGE}");
+        std::process::exit(2);
+    };
+    let mut threshold = 0.15;
+    if let Some(pos) = args.iter().position(|a| a == "--threshold") {
+        threshold = args
+            .get(pos + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threshold requires a fraction, e.g. 0.15\n{USAGE}");
+                std::process::exit(2);
+            });
+    }
+    let baseline = read_report(baseline_path);
+    let current = read_report(current_path);
+    print!("{}", comparison_table(&baseline, &current, threshold));
+    let regressions = compare(&baseline, &current, threshold);
+    if regressions.is_empty() {
+        println!(
+            "no regressions beyond {:.0} % across {} entries",
+            threshold * 100.0,
+            current.entries.len()
+        );
+    } else {
+        for regression in &regressions {
+            println!(
+                "REGRESSION {}: {:.6} s -> {:.6} s ({:+.1} %)",
+                regression.name,
+                regression.baseline_s,
+                regression.current_s,
+                (regression.ratio - 1.0) * 100.0
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
+fn read_report(path: &str) -> mnsim_bench::trajectory::BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error reading {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_bench_json(&text).unwrap_or_else(|e| {
+        eprintln!("error parsing {path}: {e}");
+        std::process::exit(2);
+    })
+}

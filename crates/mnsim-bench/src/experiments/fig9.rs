@@ -72,9 +72,7 @@ fn render(title: &str, pens: &[Pentagon]) -> String {
     out
 }
 
-fn four_optima<'a>(
-    result: &'a mnsim_core::dse::DseResult,
-) -> Vec<&'a DesignPoint> {
+fn four_optima(result: &mnsim_core::dse::DseResult) -> Vec<&DesignPoint> {
     Objective::TABLE_COLUMNS
         .iter()
         .map(|&obj| {

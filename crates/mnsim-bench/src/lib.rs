@@ -20,3 +20,4 @@
 //! | §VI.D device variation | [`experiments::variation::run`] |
 
 pub mod experiments;
+pub mod trajectory;

@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the MNSIM paper.
 //!
 //! ```text
-//! repro <experiment> [--metrics <path>]   where experiment is one of:
+//! repro <experiment> [--metrics <path>] [--trace <path>]
+//!   where experiment is one of:
 //!   table2 table3 table4 table5 table6 table7
 //!   fig5 fig6 fig7 fig8 fig9 jpeg all
 //! ```
@@ -10,20 +11,36 @@
 //! ([`mnsim_obs`]) and writes the final [`mnsim_obs::MetricsSnapshot`] as
 //! JSON to `path` (solver iteration counts, recovery-ladder rungs, pipeline
 //! stage timings, DSE throughput, …).
+//!
+//! With `--trace <path>` the run executes inside a trace session
+//! ([`mnsim_obs::trace`]) and writes the hierarchical Chrome trace-event
+//! JSON to `path` — open it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. A [`mnsim_obs::TraceSummary`] table
+//! (per-level self/total time and per-module model attribution) is printed
+//! to stderr.
 
 use mnsim_bench::experiments;
 use mnsim_obs as obs;
+use mnsim_obs::trace;
 use mnsim_tech::interconnect::InterconnectNode;
 
 fn main() {
     let mut experiment = None;
     let mut metrics_path = None;
+    let mut trace_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics" => {
                 metrics_path = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--metrics requires a file path");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--trace" => {
+                trace_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--trace requires a file path");
                     eprintln!("{USAGE}");
                     std::process::exit(2);
                 }));
@@ -41,9 +58,19 @@ fn main() {
     });
 
     let session = metrics_path.as_ref().map(|_| obs::session());
+    let trace_session = trace_path.as_ref().map(|_| trace::session());
     if let Err(e) = dispatch(&experiment) {
         eprintln!("error while running `{experiment}`: {e}");
         std::process::exit(1);
+    }
+    if let (Some(path), Some(trace_session)) = (trace_path, trace_session) {
+        let collected = trace_session.finish();
+        if let Err(e) = std::fs::write(&path, collected.to_chrome_json()) {
+            eprintln!("error writing trace to `{path}`: {e}");
+            std::process::exit(1);
+        }
+        eprint!("{}", collected.summary().to_table());
+        eprintln!("trace written to {path}");
     }
     if let Some(path) = metrics_path {
         let json = obs::snapshot().to_json();
@@ -56,7 +83,7 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|all> [--metrics <path>]";
+const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|all> [--metrics <path>] [--trace <path>]";
 
 fn dispatch(experiment: &str) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {

@@ -1,0 +1,462 @@
+//! Benchmark-trajectory harness: a fixed suite of wall-clock benchmarks
+//! whose results are written to `BENCH_core.json` at the repo root and
+//! diffed across commits, so performance regressions show up as data
+//! instead of anecdotes.
+//!
+//! The suite covers the four cost centers of the codebase: circuit-level
+//! DC solving (two sizes), the end-to-end behavior-level `simulate`, a
+//! fault-injection Monte-Carlo campaign, and a DSE sweep. Each entry
+//! records the median and p95 wall time over `runs` repetitions plus a
+//! trace-derived per-level stage breakdown (self seconds by hierarchy
+//! level, from one additional traced repetition).
+//!
+//! [`compare`] diffs two reports and flags entries whose median slowed
+//! down by more than a threshold (the CI job uses 15 %); the
+//! `mnsim-bench` binary exits non-zero when any regression is flagged.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use mnsim_circuit::crossbar::CrossbarSpec;
+use mnsim_circuit::solve::{solve_dc, SolveOptions};
+use mnsim_core::config::Config;
+use mnsim_core::dse::{explore, Constraints, DesignSpace};
+use mnsim_core::fault_sim::{simulate_with_faults, FaultConfig};
+use mnsim_core::simulate::simulate;
+use mnsim_obs::{parse_json, trace, JsonValue};
+use mnsim_tech::fault::FaultRates;
+use mnsim_tech::interconnect::InterconnectNode;
+use mnsim_tech::units::{Resistance, Voltage};
+
+/// Schema version of `BENCH_*.json` documents.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark entry: repeated wall-clock timings plus a trace-derived
+/// stage breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Suite-stable benchmark name.
+    pub name: String,
+    /// Timed repetitions.
+    pub runs: usize,
+    /// Median wall time, seconds.
+    pub median_s: f64,
+    /// 95th-percentile wall time, seconds.
+    pub p95_s: f64,
+    /// Per-hierarchy-level self time (seconds) of one traced repetition.
+    pub stages: BTreeMap<String, f64>,
+}
+
+/// Machine metadata attached to a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available hardware parallelism.
+    pub cpus: usize,
+}
+
+impl Machine {
+    /// Probes the current machine.
+    pub fn current() -> Self {
+        Machine {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// A full benchmark-trajectory report (`BENCH_core.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Document schema version.
+    pub schema: u32,
+    /// Creation time, seconds since the Unix epoch.
+    pub created_unix: u64,
+    /// Machine the suite ran on.
+    pub machine: Machine,
+    /// Benchmark entries in suite order.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// One flagged slowdown from [`compare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median, seconds.
+    pub baseline_s: f64,
+    /// Current median, seconds.
+    pub current_s: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+}
+
+/// Sorted-sample quantile with the same convention as the metric
+/// histograms: nearest-rank on `ceil(q·n)`.
+fn sample_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Times `work` `runs` times and derives one extra traced repetition for
+/// the stage breakdown.
+fn bench_entry(name: &str, runs: usize, mut work: impl FnMut()) -> BenchEntry {
+    // Warm-up repetition: first-touch allocation and lazy statics.
+    work();
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let started = Instant::now();
+        work();
+        samples.push(started.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    let session = trace::session();
+    work();
+    let summary = session.finish().summary();
+    let stages = summary
+        .levels
+        .iter()
+        .map(|(level, stats)| (level.clone(), stats.self_ns as f64 / 1e9))
+        .collect();
+    BenchEntry {
+        name: name.to_string(),
+        runs,
+        median_s: sample_quantile(&samples, 0.5),
+        p95_s: sample_quantile(&samples, 0.95),
+        stages,
+    }
+}
+
+fn dc_solve_workload(size: usize) -> impl FnMut() {
+    let spec = CrossbarSpec::uniform(
+        size,
+        size,
+        Resistance::from_kilo_ohms(10.0),
+        Resistance::from_ohms(2.0),
+        Resistance::from_ohms(500.0),
+        Voltage::from_volts(1.0),
+    );
+    let xbar = spec.build().expect("uniform crossbar builds");
+    move || {
+        let solution =
+            solve_dc(xbar.circuit(), &SolveOptions::default()).expect("healthy array solves");
+        assert!(solution.voltages().iter().all(|v| v.is_finite()));
+    }
+}
+
+/// Runs the fixed benchmark suite.
+///
+/// `quick` lowers the repetition count (used by tests and the CI smoke
+/// path); the committed baselines use the full count.
+///
+/// # Errors
+///
+/// Propagates simulation errors as strings (none occur for the fixed
+/// configurations unless the model itself is broken).
+pub fn run_suite(quick: bool) -> Result<BenchReport, String> {
+    let runs = if quick { 3 } else { 9 };
+    let mut entries = Vec::new();
+
+    entries.push(bench_entry("dc_solve_16", runs, dc_solve_workload(16)));
+    entries.push(bench_entry("dc_solve_64", runs, dc_solve_workload(64)));
+
+    let mlp = Config::fully_connected_mlp(&[512, 256, 128]).map_err(|e| e.to_string())?;
+    entries.push(bench_entry("simulate_mlp", runs, || {
+        simulate(&mlp).expect("reference MLP simulates");
+    }));
+
+    let fault_base = Config::fully_connected_mlp(&[64, 32]).map_err(|e| e.to_string())?;
+    let fault_config = FaultConfig {
+        rates: FaultRates::stuck_at(0.02),
+        trials: if quick { 4 } else { 8 },
+        threads: 1,
+        ..FaultConfig::default()
+    };
+    entries.push(bench_entry("fault_mc", runs, || {
+        simulate_with_faults(&fault_base, &fault_config).expect("campaign runs");
+    }));
+
+    let dse_base = Config::fully_connected_mlp(&[256, 128]).map_err(|e| e.to_string())?;
+    let space = DesignSpace {
+        crossbar_sizes: vec![32, 64, 128],
+        parallelism_degrees: vec![1, 16],
+        interconnects: vec![InterconnectNode::N28, InterconnectNode::N45],
+    };
+    entries.push(bench_entry("dse_sweep", runs, || {
+        explore(&dse_base, &space, &Constraints::default()).expect("sweep is feasible");
+    }));
+
+    Ok(BenchReport {
+        schema: SCHEMA_VERSION,
+        created_unix: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        machine: Machine::current(),
+        entries,
+    })
+}
+
+impl BenchReport {
+    /// Serializes to the `BENCH_core.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"created_unix\": {},", self.created_unix);
+        let _ = writeln!(
+            out,
+            "  \"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},",
+            self.machine.os, self.machine.arch, self.machine.cpus
+        );
+        out.push_str("  \"entries\": [");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"name\": \"{}\", \"runs\": {}, \"median_s\": {:?}, \"p95_s\": {:?}, ",
+                entry.name, entry.runs, entry.median_s, entry.p95_s
+            );
+            out.push_str("\"stages\": {");
+            for (j, (stage, seconds)) in entry.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{stage}\": {seconds:?}");
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn field_f64(object: &JsonValue, key: &str, context: &str) -> Result<f64, String> {
+    object
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{context}: missing numeric field {key:?}"))
+}
+
+/// Parses a `BENCH_*.json` document back into a [`BenchReport`].
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed field.
+pub fn parse_bench_json(input: &str) -> Result<BenchReport, String> {
+    let root = parse_json(input)?;
+    let schema = field_f64(&root, "schema", "report")? as u32;
+    let created_unix = field_f64(&root, "created_unix", "report")? as u64;
+    let machine = root.get("machine").ok_or("report: missing machine")?;
+    let machine = Machine {
+        os: machine
+            .get("os")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        arch: machine
+            .get("arch")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        cpus: machine.get("cpus").and_then(JsonValue::as_f64).unwrap_or(1.0) as usize,
+    };
+    let entries = root
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or("report: missing entries array")?;
+    let mut parsed = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let context = format!("entry {i}");
+        let name = entry
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{context}: missing name"))?
+            .to_string();
+        let mut stages = BTreeMap::new();
+        if let Some(JsonValue::Object(pairs)) = entry.get("stages") {
+            for (stage, value) in pairs {
+                if let Some(seconds) = value.as_f64() {
+                    stages.insert(stage.clone(), seconds);
+                }
+            }
+        }
+        parsed.push(BenchEntry {
+            runs: field_f64(entry, "runs", &context)? as usize,
+            median_s: field_f64(entry, "median_s", &context)?,
+            p95_s: field_f64(entry, "p95_s", &context)?,
+            name,
+            stages,
+        });
+    }
+    Ok(BenchReport {
+        schema,
+        created_unix,
+        machine,
+        entries: parsed,
+    })
+}
+
+/// Diffs two reports: entries present in both whose current median exceeds
+/// the baseline median by more than `threshold` (e.g. `0.15` = 15 %) are
+/// returned, slowest-relative first.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Vec<Regression> {
+    let baseline_by_name: BTreeMap<&str, &BenchEntry> = baseline
+        .entries
+        .iter()
+        .map(|e| (e.name.as_str(), e))
+        .collect();
+    let mut regressions = Vec::new();
+    for entry in &current.entries {
+        let Some(base) = baseline_by_name.get(entry.name.as_str()) else {
+            continue;
+        };
+        if base.median_s <= 0.0 {
+            continue;
+        }
+        let ratio = entry.median_s / base.median_s;
+        if ratio > 1.0 + threshold {
+            regressions.push(Regression {
+                name: entry.name.clone(),
+                baseline_s: base.median_s,
+                current_s: entry.median_s,
+                ratio,
+            });
+        }
+    }
+    regressions.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    regressions
+}
+
+/// Renders a comparison as a human-readable table (all entries, flagged
+/// ones marked).
+pub fn comparison_table(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    threshold: f64,
+) -> String {
+    let baseline_by_name: BTreeMap<&str, &BenchEntry> = baseline
+        .entries
+        .iter()
+        .map(|e| (e.name.as_str(), e))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>8}",
+        "benchmark", "base med s", "curr med s", "ratio"
+    );
+    for entry in &current.entries {
+        match baseline_by_name.get(entry.name.as_str()) {
+            Some(base) if base.median_s > 0.0 => {
+                let ratio = entry.median_s / base.median_s;
+                let flag = if ratio > 1.0 + threshold { "  << REGRESSION" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>12.6} {:>12.6} {:>8.3}{}",
+                    entry.name, base.median_s, entry.median_s, ratio, flag
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>12} {:>12.6} {:>8}",
+                    entry.name, "-", entry.median_s, "new"
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(medians: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            schema: SCHEMA_VERSION,
+            created_unix: 0,
+            machine: Machine {
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                cpus: 4,
+            },
+            entries: medians
+                .iter()
+                .map(|&(name, median)| BenchEntry {
+                    name: name.to_string(),
+                    runs: 5,
+                    median_s: median,
+                    p95_s: median * 1.2,
+                    stages: BTreeMap::from([("run".to_string(), median * 0.9)]),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = report_with(&[("a", 0.5), ("b", 1.25)]);
+        let parsed = parse_bench_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn compare_flags_regressions_over_threshold() {
+        let base = report_with(&[("a", 1.0), ("b", 1.0), ("c", 1.0)]);
+        let current = report_with(&[("a", 1.10), ("b", 1.30), ("d", 5.0)]);
+        let regressions = compare(&base, &current, 0.15);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "b");
+        assert!((regressions[0].ratio - 1.30).abs() < 1e-12);
+        // Within threshold and unmatched entries are not flagged.
+        assert!(compare(&base, &base, 0.15).is_empty());
+        let table = comparison_table(&base, &current, 0.15);
+        assert!(table.contains("REGRESSION"));
+        assert!(table.contains("new"));
+    }
+
+    #[test]
+    fn sample_quantile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(sample_quantile(&sorted, 0.5), 2.0);
+        assert_eq!(sample_quantile(&sorted, 0.95), 4.0);
+        assert_eq!(sample_quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn quick_suite_produces_entries_with_stages() {
+        let report = run_suite(true).unwrap();
+        assert!(report.entries.len() >= 4, "{}", report.entries.len());
+        for entry in &report.entries {
+            assert!(entry.median_s > 0.0, "{} has no timing", entry.name);
+            assert!(entry.p95_s >= entry.median_s);
+            assert!(!entry.stages.is_empty(), "{} has no stages", entry.name);
+        }
+        // The simulate entry sees the paper hierarchy in its breakdown.
+        let sim = report
+            .entries
+            .iter()
+            .find(|e| e.name == "simulate_mlp")
+            .unwrap();
+        for level in ["run", "layer", "bank", "unit"] {
+            assert!(sim.stages.contains_key(level), "missing level {level}");
+        }
+        // And the document round-trips.
+        let parsed = parse_bench_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.entries.len(), report.entries.len());
+    }
+}

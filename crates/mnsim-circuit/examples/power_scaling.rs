@@ -1,7 +1,7 @@
 //! Wire-ladder power saturation: circuit-measured crossbar power vs the
 //! naive M·N·V²/R rule and the transmission-line estimate. This is the
 //! measurement behind the power-model refinement in
-//! `mnsim_core::modules::crossbar` (see DESIGN.md §9).
+//! `mnsim_core::modules::crossbar` (see DESIGN.md §11).
 //!
 //! ```text
 //! cargo run --release -p mnsim-circuit --example power_scaling

@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero() {
         let a = laplacian_1d(10);
-        let (x, stats) = solve_cg(&a, &vec![0.0; 10], &CgOptions::default()).unwrap();
+        let (x, stats) = solve_cg(&a, &[0.0; 10], &CgOptions::default()).unwrap();
         assert!(x.iter().all(|&v| v == 0.0));
         assert_eq!(stats.iterations, 0);
     }

@@ -20,6 +20,7 @@
 //! trust it.
 
 use mnsim_obs as obs;
+use mnsim_obs::trace;
 
 use crate::cg::CgOptions;
 use crate::error::CircuitError;
@@ -40,6 +41,15 @@ static ACCEPT_RELAXED: obs::Counter = obs::Counter::new("circuit.recovery.accept
 static ACCEPT_DENSE: obs::Counter = obs::Counter::new("circuit.recovery.accepted.dense_lu");
 
 impl RecoveryStage {
+    /// Static label of the rung's trace instant.
+    fn trace_name(self) -> &'static str {
+        match self {
+            RecoveryStage::Base => "recovery.attempt.base",
+            RecoveryStage::RelaxedCg => "recovery.attempt.relaxed_cg",
+            RecoveryStage::DenseLu => "recovery.attempt.dense_lu",
+        }
+    }
+
     fn attempt_counter(self) -> &'static obs::Counter {
         match self {
             RecoveryStage::Base => &ATTEMPT_BASE,
@@ -143,6 +153,7 @@ pub fn solve_robust(
     options: &RobustOptions,
 ) -> Result<(DcSolution, RecoveryReport), CircuitError> {
     let _span = ROBUST_SPAN.enter();
+    let _trace_span = trace::span("recovery.solve", trace::Level::Stage);
     ROBUST_SOLVES.inc();
     let relaxed = SolveOptions {
         method: Method::Cg,
@@ -168,6 +179,7 @@ pub fn solve_robust(
     let mut last_error = None;
     for (stage, solve_options) in ladder {
         stage.attempt_counter().inc();
+        trace::instant(stage.trace_name(), trace::Level::Stage, 1.0);
         match attempt(circuit, &solve_options, stage) {
             Ok(solution) => {
                 stage.accept_counter().inc();

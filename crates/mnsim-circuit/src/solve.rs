@@ -90,6 +90,7 @@ pub(crate) struct Linearized {
 /// by two conflicting sources, CG requested for floating sources).
 pub fn solve_dc(circuit: &Circuit, options: &SolveOptions) -> Result<DcSolution, CircuitError> {
     let _span = DC_SPAN.enter();
+    let _trace_span = obs::trace::span("circuit.solve_dc", obs::trace::Level::Stage);
     DC_SOLVES.inc();
     if circuit.is_nonlinear() {
         solve_newton(circuit, options)

@@ -7,6 +7,7 @@
 //! pipeline cycle" is the largest bank cycle (paper §VII.D).
 
 use mnsim_nn::descriptor::BankDescriptor;
+use mnsim_obs::trace;
 use mnsim_tech::units::{Area, Energy, Power, Time};
 
 use crate::arch::bank::{evaluate_bank, BankModelResult};
@@ -69,6 +70,7 @@ pub fn evaluate_accelerator(config: &Config) -> Result<AcceleratorModelResult, C
     let descriptors = &config.network.banks;
     let mut banks = Vec::with_capacity(descriptors.len());
     for (i, bank) in descriptors.iter().enumerate() {
+        let _layer_span = trace::span_at("layer", trace::Level::Layer, i as i64);
         let next_kernel = descriptors.get(i + 1).and_then(|next| match next {
             BankDescriptor::Conv { shape, .. } => Some(shape.kernel),
             BankDescriptor::FullyConnected { .. } => None,

@@ -6,6 +6,7 @@
 //! non-linear neuron modules, and the output buffer.
 
 use mnsim_nn::descriptor::BankDescriptor;
+use mnsim_obs::trace;
 use mnsim_tech::units::{Area, Power};
 
 use crate::arch::unit::{evaluate_unit, UnitModelResult};
@@ -58,6 +59,7 @@ pub fn evaluate_bank(
     bank: &BankDescriptor,
     next_kernel: Option<usize>,
 ) -> BankModelResult {
+    let _trace_span = trace::span("bank", trace::Level::Bank);
     let cmos = config.cmos.params();
     let bits = config.precision.output_bits;
 
@@ -132,9 +134,14 @@ pub fn evaluate_bank(
         + pool_buffers.leakage
         + neurons.leakage
         + out_buffer.leakage;
+    let pool_cycle_latency = if has_pooling {
+        pool.latency / concurrent_outputs as f64
+    } else {
+        mnsim_tech::units::Time::ZERO
+    };
     let cycle_latency = unit.mvm.latency
         + tree.latency
-        + if has_pooling { pool.latency / concurrent_outputs as f64 } else { mnsim_tech::units::Time::ZERO }
+        + pool_cycle_latency
         + neuron.latency
         + out_buffer.latency;
     // Energy of one cycle: all units fire, the trees merge, buffers shift.
@@ -155,6 +162,34 @@ pub fn evaluate_bank(
         + pool_cycle_energy
         + neuron_cycle_energy
         + out_buffer.dynamic_energy;
+
+    // Trace attribution: the bank-level latency terms on top of the unit
+    // MVM (which attributes its own modules), so that the per-module time
+    // sums telescope exactly to the cycle latency.
+    if trace::enabled() {
+        trace::module_perf(
+            "adder_tree",
+            tree.latency.seconds(),
+            trees.dynamic_energy.joules(),
+        );
+        if has_pooling {
+            trace::module_perf(
+                "pooling",
+                pool_cycle_latency.seconds(),
+                pool_cycle_energy.joules(),
+            );
+        }
+        trace::module_perf(
+            "neuron",
+            neuron.latency.seconds(),
+            neuron_cycle_energy.joules(),
+        );
+        trace::module_perf(
+            "out_buffer",
+            out_buffer.latency.seconds(),
+            out_buffer.dynamic_energy.joules(),
+        );
+    }
 
     let cycle = ModulePerf {
         area: cycle_area,

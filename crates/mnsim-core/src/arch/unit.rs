@@ -5,6 +5,7 @@
 //! optional subtractors for the dual-crossbar signed mapping, shift-add
 //! mergers for bit-sliced weights) + a small control counter.
 
+use mnsim_obs::trace;
 use mnsim_tech::units::Area;
 
 use crate::config::{Config, InputEncoding, SignedMapping, WeightPolarity};
@@ -65,6 +66,7 @@ pub struct UnitModelResult {
 ///
 /// `rows_used`/`cols_used` are clamped to the crossbar geometry.
 pub fn evaluate_unit(config: &Config, rows_used: usize, cols_used: usize) -> UnitModelResult {
+    let _trace_span = trace::span("unit", trace::Level::Unit);
     let cmos = config.cmos.params();
     let size = config.crossbar_size;
     let rows_used = rows_used.clamp(1, size);
@@ -174,6 +176,34 @@ pub fn evaluate_unit(config: &Config, rows_used: usize, cols_used: usize) -> Uni
         + sub_energy
         + merge_energy
         + counter.dynamic_energy;
+
+    // Trace attribution: the exact critical-path decomposition of the MVM,
+    // so per-module time/energy sums reproduce `mvm.latency`/`mvm.
+    // dynamic_energy` up to floating-point association.
+    if trace::enabled() {
+        let passes = input_passes as f64;
+        trace::module_perf("dac", (dac.latency * passes).seconds(), dac_energy.joules());
+        trace::module_perf(
+            "crossbar",
+            (xbar.settle_latency() * passes).seconds(),
+            crossbar_energy.joules(),
+        );
+        trace::module_perf(
+            "adc",
+            (conversion_phase * passes).seconds(),
+            adc_energy.joules(),
+        );
+        trace::module_perf(
+            "accumulator",
+            (accumulator.latency * passes).seconds(),
+            accumulator_energy.joules(),
+        );
+        trace::module_perf(
+            "digital",
+            digital_phase.seconds(),
+            (decoder_energy + sub_energy + merge_energy + counter.dynamic_energy).joules(),
+        );
+    }
 
     // --- area & leakage -----------------------------------------------------
     let breakdown = UnitAreaBreakdown {

@@ -12,6 +12,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use mnsim_obs as obs;
+use mnsim_obs::trace;
 use mnsim_tech::interconnect::InterconnectNode;
 
 use crate::config::Config;
@@ -286,6 +287,7 @@ pub fn explore(
     constraints: &Constraints,
 ) -> Result<DseResult, CoreError> {
     let _span = EXPLORE_SPAN.enter();
+    let _trace_span = trace::span("dse.explore", trace::Level::Run);
     let started = Instant::now();
     let combos = space.combinations();
     let mut feasible = Vec::new();
@@ -320,6 +322,8 @@ pub fn explore_parallel(
     threads: usize,
 ) -> Result<DseResult, CoreError> {
     let _span = EXPLORE_SPAN.enter();
+    let trace_span = trace::span("dse.explore", trace::Level::Run);
+    let trace_parent = trace_span.id();
     let started = Instant::now();
     let combos = space.combinations();
     let threads = threads.max(1).min(combos.len().max(1));
@@ -333,6 +337,12 @@ pub fn explore_parallel(
     std::thread::scope(|scope| {
         for (chunk_index, chunk) in combos.chunks(chunk_size).enumerate() {
             scope.spawn(move || {
+                let _chunk_span = trace::span_under(
+                    "dse.chunk",
+                    trace::Level::Chunk,
+                    chunk_index as i64,
+                    trace_parent,
+                );
                 let mut local = Vec::new();
                 for (offset, &(size, p, wire)) in chunk.iter().enumerate() {
                     match evaluate_point(base, size, p, wire) {
@@ -386,6 +396,7 @@ fn evaluate_point(
     interconnect: InterconnectNode,
 ) -> Result<DesignPoint, CoreError> {
     let _span = POINT_SPAN.enter();
+    let _trace_span = trace::span("dse.point", trace::Level::Stage);
     DSE_POINTS.inc();
     let mut config = base.clone();
     config.crossbar_size = size;

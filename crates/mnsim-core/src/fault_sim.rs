@@ -20,6 +20,7 @@ use mnsim_circuit::crossbar::CrossbarSpec;
 use mnsim_circuit::recovery::{solve_robust, RobustOptions};
 use mnsim_circuit::solve::{solve_dc, SolveOptions};
 use mnsim_obs as obs;
+use mnsim_obs::trace;
 use mnsim_nn::fault::weight_damage_levels;
 use mnsim_nn::quantize::Quantizer;
 use mnsim_nn::tensor::Tensor;
@@ -161,6 +162,9 @@ struct TrialContext<'a> {
     weight_quantizer: &'a Quantizer,
     output_span: f64,
     v_read: f64,
+    /// Trace span of the campaign; trial spans attach here even when the
+    /// trial runs on a worker thread.
+    trace_parent: u64,
 }
 
 /// Everything one trial contributes to the summary. Outcomes are reduced
@@ -184,6 +188,12 @@ struct SolveOutcome {
 /// mirror the behavior path.
 fn run_trial(context: &TrialContext<'_>, trial: usize) -> Result<TrialOutcome, CoreError> {
     let _span = TRIAL_SPAN.enter();
+    let _trace_span = trace::span_under(
+        "fault.trial",
+        trace::Level::Trial,
+        trial as i64,
+        context.trace_parent,
+    );
     FAULT_TRIALS.inc();
     let fault_config = context.fault_config;
     let size = context.clean_spec.rows;
@@ -315,6 +325,7 @@ pub fn simulate_with_faults(
     fault_config: &FaultConfig,
 ) -> Result<Report, CoreError> {
     let _span = CAMPAIGN_SPAN.enter();
+    let campaign_span = trace::span("fault.campaign", trace::Level::Run);
     FAULT_CAMPAIGNS.inc();
     fault_config.validate()?;
     let mut report = simulate(config)?;
@@ -369,6 +380,7 @@ pub fn simulate_with_faults(
         weight_quantizer: &weight_quantizer,
         output_span: (config.output_levels() - 1) as f64,
         v_read: device.v_read.volts(),
+        trace_parent: campaign_span.id(),
     };
     let outcomes = run_trials(&context, fault_config.trials, fault_config.threads)?;
 

@@ -3,7 +3,7 @@
 //! the computing-accuracy estimation.
 
 use mnsim_obs as obs;
-use mnsim_obs::MetricsSnapshot;
+use mnsim_obs::{trace, MetricsSnapshot, TraceSummary};
 use mnsim_tech::units::{Area, Energy, Power, Time};
 
 use crate::accuracy::{propagate, AccuracyModel, Case, LayerAccuracy};
@@ -50,6 +50,9 @@ pub struct Report {
     /// Observability snapshot; `None` unless attached via
     /// [`Report::with_metrics`] (e.g. by a `--metrics` run).
     pub metrics: Option<MetricsSnapshot>,
+    /// Hierarchical trace aggregation; `None` unless attached via
+    /// [`Report::with_trace`] (e.g. by a `--trace` run).
+    pub trace: Option<TraceSummary>,
 }
 
 impl Report {
@@ -61,6 +64,14 @@ impl Report {
         self.metrics = Some(metrics);
         self
     }
+
+    /// Attaches the aggregated trace of the run that produced this report
+    /// (typically `trace_session.finish().summary()`).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSummary) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 /// Runs the full MNSIM simulation for `config`.
@@ -70,16 +81,19 @@ impl Report {
 /// Returns configuration validation errors.
 pub fn simulate(config: &Config) -> Result<Report, CoreError> {
     let _span = SIMULATE_SPAN.enter();
+    let _trace_span = trace::span("simulate", trace::Level::Run);
     SIMULATE_RUNS.inc();
 
     let accelerator = {
         let _stage = STAGE_ACCELERATOR.enter();
+        let _tstage = trace::span("accelerator", trace::Level::Stage);
         evaluate_accelerator(config)?
     };
 
     // ε per bank: the crossbar geometry actually used by its units.
     let epsilons: Vec<f64> = {
         let _stage = STAGE_ACCURACY.enter();
+        let _tstage = trace::span("accuracy", trace::Level::Stage);
         let accuracy = AccuracyModel::from_config(config);
         accelerator
             .banks
@@ -99,6 +113,7 @@ pub fn simulate(config: &Config) -> Result<Report, CoreError> {
 
     let layer_accuracy = {
         let _stage = STAGE_PROPAGATE.enter();
+        let _tstage = trace::span("propagate", trace::Level::Stage);
         propagate(&epsilons, config.output_levels())
     };
     let last = layer_accuracy
@@ -124,6 +139,7 @@ pub fn simulate(config: &Config) -> Result<Report, CoreError> {
         output_avg_error_rate,
         faults: None,
         metrics: None,
+        trace: None,
     })
 }
 

@@ -1,5 +1,7 @@
 //! Network container: an ordered pipeline of layers.
 
+use mnsim_obs::trace;
+
 use crate::error::NnError;
 use crate::layers::Layer;
 use crate::tensor::Tensor;
@@ -55,7 +57,8 @@ impl Network {
             });
         }
         let mut current = input.clone();
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let _span = trace::span_at("nn.layer", trace::Level::Layer, i as i64);
             current = layer.forward(&current)?;
         }
         Ok(current)
@@ -73,13 +76,14 @@ impl Network {
                 reason: "network has no layers".into(),
             });
         }
-        let mut trace = Vec::with_capacity(self.layers.len());
+        let mut activations = Vec::with_capacity(self.layers.len());
         let mut current = input.clone();
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let _span = trace::span_at("nn.layer", trace::Level::Layer, i as i64);
             current = layer.forward(&current)?;
-            trace.push(current.clone());
+            activations.push(current.clone());
         }
-        Ok(trace)
+        Ok(activations)
     }
 }
 

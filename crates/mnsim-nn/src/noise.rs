@@ -138,7 +138,7 @@ mod tests {
     fn clamping_at_range_edges() {
         let q = Quantizer::unsigned_unit(4).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
-        let t = Tensor::vector(&vec![0.0, 1.0]);
+        let t = Tensor::vector(&[0.0, 1.0]);
         for _ in 0..50 {
             let out = inject_digital_deviation(&t, &q, 5.0, &mut rng);
             assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));

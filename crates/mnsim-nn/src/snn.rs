@@ -244,7 +244,7 @@ mod tests {
         let trace = net.run(&input, 6000, &mut rng).unwrap();
         let analog = fc.forward(&input).unwrap();
         for (rate, &a) in trace.rates().iter().zip(analog.data()) {
-            let expected = a.max(0.0).min(1.0); // ReLU, rate-capped at 1
+            let expected = a.clamp(0.0, 1.0); // ReLU, rate-capped at 1
             assert!(
                 (rate - expected).abs() < 0.06,
                 "rate {rate} vs ReLU {expected}"

@@ -1,6 +1,88 @@
-//! A minimal JSON validity checker (RFC 8259 grammar, no value
-//! materialization) so tests and tools can reject malformed metric dumps
-//! without pulling in a JSON library.
+//! A minimal JSON checker and reader (RFC 8259 grammar) so tests and
+//! tools can reject malformed metric dumps — and the trace validator and
+//! benchmark-comparison mode can *read* documents back — without pulling
+//! in a JSON library.
+
+/// A materialized JSON value (see [`parse_json`]). Object keys keep
+/// insertion order; duplicate keys keep the last value on lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, widened to `f64`.
+    Number(f64),
+    /// A string with escapes decoded.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in document order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members
+                .iter()
+                .rev()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The member list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parses exactly one well-formed JSON value into a [`JsonValue`].
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first violation.
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
 
 /// Validates that `input` is exactly one well-formed JSON value.
 ///
@@ -8,15 +90,7 @@
 ///
 /// Returns a message naming the byte offset of the first violation.
 pub fn validate_json(input: &str) -> Result<(), String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(())
+    parse_json(input).map(|_| ())
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -25,99 +99,149 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     match bytes.get(*pos) {
         Some(b'{') => parse_object(bytes, pos),
         Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, b"true"),
-        Some(b'f') => parse_literal(bytes, pos, b"false"),
-        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::String),
+        Some(b't') => parse_literal(bytes, pos, b"true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false").map(|()| JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, b"null").map(|()| JsonValue::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
         Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}", pos = *pos)),
         None => Err(format!("unexpected end of input at byte {}", *pos)),
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // '{'
     skip_ws(bytes, pos);
+    let mut members = Vec::new();
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Object(members));
     }
     loop {
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b'"') {
             return Err(format!("expected object key at byte {}", *pos));
         }
-        parse_string(bytes, pos)?;
+        let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {}", *pos));
         }
         *pos += 1;
         skip_ws(bytes, pos);
-        parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Object(members));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // '['
     skip_ws(bytes, pos);
+    let mut items = Vec::new();
     if bytes.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Array(items));
     }
     loop {
         skip_ws(bytes, pos);
-        parse_value(bytes, pos)?;
+        items.push(parse_value(bytes, pos)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Array(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
         }
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     *pos += 1; // opening '"'
+    let mut out = String::new();
     while let Some(&c) = bytes.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match bytes.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => {
+                        out.push('"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        *pos += 1;
+                    }
+                    Some(b'/') => {
+                        out.push('/');
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{8}');
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{c}');
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        *pos += 1;
+                    }
                     Some(b'u') => {
-                        for k in 1..=4 {
-                            if !bytes
-                                .get(*pos + k)
-                                .is_some_and(u8::is_ascii_hexdigit)
+                        let unit = parse_hex4(bytes, pos)?;
+                        let scalar = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: require the paired low half.
+                            if bytes.get(*pos) == Some(&b'\\')
+                                && bytes.get(*pos + 1) == Some(&b'u')
                             {
-                                return Err(format!(
-                                    "bad \\u escape at byte {}",
-                                    *pos - 1
-                                ));
+                                *pos += 1;
+                                let low = parse_hex4(bytes, pos)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!(
+                                        "unpaired surrogate before byte {}",
+                                        *pos
+                                    ));
+                                }
+                                0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                return Err(format!("unpaired surrogate before byte {}", *pos));
                             }
-                        }
-                        *pos += 5;
+                        } else if (0xDC00..0xE000).contains(&unit) {
+                            return Err(format!("unpaired surrogate before byte {}", *pos));
+                        } else {
+                            unit
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| format!("bad code point before byte {}", *pos))?,
+                        );
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos - 1)),
                 }
@@ -125,10 +249,42 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             c if c < 0x20 => {
                 return Err(format!("unescaped control byte at {}", *pos));
             }
-            _ => *pos += 1,
+            _ => {
+                // Copy one UTF-8 code point (input is &str, so boundaries
+                // are trustworthy).
+                let width = utf8_width(c);
+                let end = (*pos + width).min(bytes.len());
+                out.push_str(std::str::from_utf8(&bytes[*pos..end]).map_err(|_| {
+                    format!("invalid UTF-8 at byte {}", *pos)
+                })?);
+                *pos = end;
+            }
         }
     }
     Err("unterminated string".into())
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parses the `XXXX` of a `\u` escape; `pos` sits on the `u` on entry.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut unit = 0u32;
+    for k in 1..=4 {
+        let digit = bytes
+            .get(*pos + k)
+            .filter(|b| b.is_ascii_hexdigit())
+            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos - 1))?;
+        unit = unit * 16 + (*digit as char).to_digit(16).unwrap_or(0);
+    }
+    *pos += 5;
+    Ok(unit)
 }
 
 fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &[u8]) -> Result<(), String> {
@@ -140,7 +296,7 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &[u8]) -> Result<(), St
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -168,7 +324,11 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("expected exponent digits at byte {}", *pos));
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("invalid number at byte {start}"))?;
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| format!("unparseable number at byte {start}"))
 }
 
 fn eat_digits(bytes: &[u8], pos: &mut usize) -> usize {
@@ -197,6 +357,29 @@ mod tests {
         ] {
             validate_json(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
         }
+    }
+
+    #[test]
+    fn parses_values_back() {
+        let doc = r#"{"a": [1, -2.5e2, {"b": null}], "c": "x\ny", "ok": true}"#;
+        let value = parse_json(doc).unwrap();
+        let a = value.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(-250.0));
+        assert_eq!(a[2].get("b"), Some(&JsonValue::Null));
+        assert_eq!(value.get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(value.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(value.get("missing"), None);
+        assert_eq!(value.as_object().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn decodes_unicode_escapes() {
+        assert_eq!(
+            parse_json("\"caf\\u00e9 \\ud83d\\ude00\"").unwrap(),
+            JsonValue::String("café 😀".into())
+        );
+        assert!(parse_json("\"\\ud83d alone\"").is_err()); // unpaired surrogate
     }
 
     #[test]

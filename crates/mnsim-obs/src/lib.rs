@@ -47,9 +47,11 @@ use std::time::Instant;
 
 mod json;
 mod snapshot;
+pub mod trace;
 
-pub use json::validate_json;
+pub use json::{parse_json, validate_json, JsonValue};
 pub use snapshot::{BucketCount, HistogramSnapshot, MetricsSnapshot};
+pub use trace::{validate_chrome_trace, Trace, TraceSummary};
 
 /// Number of exponential histogram buckets (powers of two from `2⁻³⁰` to
 /// `2³⁴`, plus one overflow bucket).
@@ -148,6 +150,26 @@ static SESSION_LOCK: Mutex<()> = Mutex::new(());
 /// Tests and tools that assert on global metric values must go through
 /// [`session`] so concurrently running instrumented code (other tests in
 /// the same binary) cannot interleave with the measurement.
+///
+/// # Ordering contract
+///
+/// The enabled flag is a **relaxed** atomic: flipping it creates no
+/// happens-before edge with other threads. A metric update is captured
+/// iff the recording thread observes the flag as set, so:
+///
+/// * Open the session **before** spawning instrumented workers. Thread
+///   spawning synchronizes-with the new thread, so workers spawned after
+///   [`session`] returns are guaranteed to observe recording as enabled
+///   (the `fault_sim` / `explore_parallel` pools spawn inside the
+///   session and are covered by this).
+/// * Work already in flight on threads spawned **before** the session
+///   opened may race the flag flip: those threads can keep observing
+///   "disabled" for a short window and their updates are silently
+///   dropped. Join or synchronize with such threads first if their
+///   metrics matter.
+/// * Symmetrically, everything the session measures must be joined
+///   before [`Session::snapshot`] — a still-running worker's updates may
+///   or may not be included.
 #[derive(Debug)]
 pub struct Session {
     _guard: MutexGuard<'static, ()>,
@@ -158,6 +180,15 @@ pub fn session() -> Session {
     let guard = SESSION_LOCK
         .lock()
         .unwrap_or_else(PoisonError::into_inner);
+    // Overlap detector: recording must be off outside sessions. A true
+    // value here means someone called `set_enabled(true)` without holding
+    // the session lock — their metrics would silently bleed into (or be
+    // reset by) this session.
+    debug_assert!(
+        !enabled(),
+        "obs::session() opened while recording is already enabled \
+         (set_enabled(true) called outside a session?)"
+    );
     reset();
     set_enabled(true);
     Session { _guard: guard }
@@ -166,6 +197,13 @@ pub fn session() -> Session {
 impl Session {
     /// Snapshot of everything recorded since the session opened.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        // The session must still be live: a mid-session
+        // `set_enabled(false)` means an unknown suffix of the measured
+        // window was silently dropped.
+        debug_assert!(
+            enabled(),
+            "Session::snapshot() after recording was disabled mid-session"
+        );
         snapshot()
     }
 }

@@ -516,17 +516,23 @@ mod tests {
 
     #[test]
     fn invalid_rates_rejected() {
-        let mut rates = FaultRates::default();
-        rates.stuck_at_hrs = 1.5;
+        let rates = FaultRates {
+            stuck_at_hrs: 1.5,
+            ..FaultRates::default()
+        };
         assert!(rates.validate().is_err());
 
-        let mut rates = FaultRates::default();
-        rates.stuck_at_hrs = 0.7;
-        rates.stuck_at_lrs = 0.7;
+        let rates = FaultRates {
+            stuck_at_hrs: 0.7,
+            stuck_at_lrs: 0.7,
+            ..FaultRates::default()
+        };
         assert!(rates.validate().is_err(), "cell rates summing past 1 must fail");
 
-        let mut rates = FaultRates::default();
-        rates.drift_decades = 9.0;
+        let rates = FaultRates {
+            drift_decades: 9.0,
+            ..FaultRates::default()
+        };
         assert!(rates.validate().is_err());
     }
 

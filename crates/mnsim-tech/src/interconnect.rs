@@ -199,7 +199,7 @@ mod tests {
     fn resistivity_multiplier_bounds() {
         for node in InterconnectNode::ALL {
             let rho = node.effective_resistivity();
-            assert!(rho >= RHO_CU && rho <= 3.5 * RHO_CU);
+            assert!((RHO_CU..=3.5 * RHO_CU).contains(&rho));
         }
     }
 

@@ -2,7 +2,7 @@
 //! yield, and solver-fallback behavior degrade gracefully.
 //!
 //! ```text
-//! cargo run --release --example fault_tolerance [-- --metrics <path>]
+//! cargo run --release --example fault_tolerance [-- --metrics <path>] [--trace <path>]
 //! ```
 //!
 //! Each sweep point runs a seeded Monte-Carlo fault campaign on top of the
@@ -17,8 +17,9 @@ use mnsim::obs;
 use mnsim::tech::fault::FaultRates;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let metrics_path = metrics_path_from_args()?;
+    let (metrics_path, trace_path) = paths_from_args()?;
     let session = metrics_path.as_ref().map(|_| obs::session());
+    let trace_session = trace_path.as_ref().map(|_| obs::trace::session());
 
     let config = Config::fully_connected_mlp(&[128, 128])?;
 
@@ -59,6 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nCSV (fault columns are the last four):");
     println!("{csv}");
 
+    if let (Some(path), Some(trace_session)) = (trace_path, trace_session) {
+        let trace = trace_session.finish();
+        std::fs::write(&path, trace.to_chrome_json())?;
+        eprint!("{}", trace.summary().to_table());
+        eprintln!("trace written to {path}");
+    }
     if let Some(path) = metrics_path {
         std::fs::write(&path, obs::snapshot().to_json())?;
         drop(session);
@@ -67,15 +74,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Parses an optional `--metrics <path>` argument.
-fn metrics_path_from_args() -> Result<Option<String>, Box<dyn std::error::Error>> {
+/// Parses the optional `--metrics <path>` and `--trace <path>` arguments.
+fn paths_from_args() -> Result<(Option<String>, Option<String>), Box<dyn std::error::Error>> {
+    let mut metrics = None;
+    let mut trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--metrics" {
-            return Ok(Some(
-                args.next().ok_or("--metrics requires a file path")?,
-            ));
+        match arg.as_str() {
+            "--metrics" => {
+                metrics = Some(args.next().ok_or("--metrics requires a file path")?);
+            }
+            "--trace" => {
+                trace = Some(args.next().ok_or("--trace requires a file path")?);
+            }
+            _ => {}
         }
     }
-    Ok(None)
+    Ok((metrics, trace))
 }

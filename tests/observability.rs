@@ -205,10 +205,40 @@ fn snapshot_json_is_valid_and_complete() {
         assert!(json.contains(required), "snapshot JSON lacks {required}");
     }
 
-    // CSV export carries the same metric names.
+    // CSV export carries the same metric names plus the histogram
+    // percentile columns.
     let csv = snap.to_csv();
-    assert!(csv.starts_with("kind,name,unit,count,sum,min,max,mean"));
+    assert!(csv.starts_with("kind,name,unit,count,sum,min,max,mean,p50,p95,p99"));
     assert!(csv.contains("counter,circuit.cg.iterations,"));
+}
+
+/// Ordering-contract regression: a session opened *before* worker threads
+/// spawn must observe every worker's increments, because the registry is
+/// global and workers join before `snapshot()` is called. A session
+/// opened after the fact would race; the contract (documented on
+/// [`obs::session`]) is begin-session → run instrumented code → snapshot.
+#[test]
+fn session_opened_before_thread_pool_sees_all_worker_counts() {
+    let session = obs::session();
+    let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+    let fault_config = FaultConfig {
+        rates: FaultRates::stuck_at(0.02),
+        trials: 14,
+        threads: 7,
+        ..FaultConfig::default()
+    };
+    simulate_with_faults(&config, &fault_config).unwrap();
+
+    let snap = session.snapshot();
+    // All 14 trials ran on 7 pool workers; every increment must be
+    // visible, not just the spawning thread's share.
+    assert_eq!(snap.counter("core.fault.campaigns"), 1);
+    assert_eq!(snap.counter("core.fault.trials"), 14);
+    // Retired trials skip the solve; every operated trial solves once.
+    assert_eq!(
+        snap.counter("circuit.recovery.solves") + snap.counter("core.fault.retired_trials"),
+        14
+    );
 }
 
 /// Overhead guard (ignored by default: wall-clock measurements are too
@@ -219,7 +249,9 @@ fn snapshot_json_is_valid_and_complete() {
 /// longer exists at runtime, so the test bounds the same quantity from
 /// measurements: (disabled per-op cost) × (a generous over-count of the
 /// instrumentation ops per DSE point) must stay below 5 % of the measured
-/// per-point evaluation time.
+/// per-point evaluation time. The trace subsystem carries a tighter
+/// contract — disabled trace call sites must stay below 2 % of simulate
+/// wall time — bounded the same way at the end of the test.
 #[test]
 #[ignore = "wall-clock measurement; run explicitly in release mode"]
 fn disabled_instrumentation_overhead_is_negligible() {
@@ -243,6 +275,20 @@ fn disabled_instrumentation_overhead_is_negligible() {
         per_op < 25e-9,
         "disabled metric op costs {:.1} ns",
         per_op * 1e9
+    );
+
+    // Disabled trace ops: outside a trace session each call must reduce
+    // to one relaxed atomic load and a branch.
+    let started = Instant::now();
+    for _ in 0..OPS {
+        let _guard = obs::trace::span("overhead.trace_probe", obs::trace::Level::Other);
+        obs::trace::module_perf("overhead.trace_module", 1.0e-9, 1.0e-12);
+    }
+    let per_trace_op = started.elapsed().as_secs_f64() / f64::from(OPS) / 2.0;
+    assert!(
+        per_trace_op < 25e-9,
+        "disabled trace op costs {:.1} ns",
+        per_trace_op * 1e9
     );
 
     // Measured per-point cost of a disabled-registry sweep. Each
@@ -272,6 +318,19 @@ fn disabled_instrumentation_overhead_is_negligible() {
         overhead_fraction < 0.05,
         "disabled instrumentation costs {:.2} % of a {:.2} µs DSE point",
         overhead_fraction * 100.0,
+        per_point * 1e6
+    );
+
+    // Tracing adds its own disabled call sites along the same path: the
+    // run/stage/layer/bank/unit spans plus the per-unit and per-bank
+    // module attributions — again far fewer than 32 per simulated point.
+    // The tracing contract is tighter: < 2 % of simulate wall time when
+    // disabled.
+    let trace_overhead_fraction = 32.0 * per_trace_op / per_point;
+    assert!(
+        trace_overhead_fraction < 0.02,
+        "disabled tracing costs {:.2} % of a {:.2} µs DSE point",
+        trace_overhead_fraction * 100.0,
         per_point * 1e6
     );
 }

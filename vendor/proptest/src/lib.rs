@@ -247,7 +247,7 @@ mod tests {
         #[test]
         fn default_config_works(x in 0i64..100) {
             prop_assert_eq!(x, x);
-            prop_assert!(x >= 0 && x < 100);
+            prop_assert!((0..100).contains(&x));
         }
     }
 
