@@ -18,8 +18,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use mnsim_circuit::crossbar::CrossbarSpec;
-use mnsim_circuit::solve::{solve_dc, SolveOptions};
+use mnsim_circuit::batch::{solve_dc_batch, BatchOptions, PreparedSystem, Rhs};
+use mnsim_circuit::crossbar::{CrossbarCircuit, CrossbarSpec};
+use mnsim_circuit::solve::{solve_dc, Method, SolveOptions};
 use mnsim_core::config::Config;
 use mnsim_core::dse::{explore, Constraints, DesignSpace};
 use mnsim_core::fault_sim::{simulate_with_faults, FaultConfig};
@@ -154,6 +155,114 @@ fn dc_solve_workload(size: usize) -> impl FnMut() {
     }
 }
 
+/// Shape of the multi-RHS workload: one `SIZE`×`SIZE` crossbar re-driven
+/// by `INPUTS` correlated input vectors per repetition.
+const MULTI_RHS_SIZE: usize = 10;
+/// Input vectors per repetition of the multi-RHS workload.
+const MULTI_RHS_INPUTS: usize = 12;
+
+/// Smoothly varying (correlated) input batches — the regime batched
+/// inference and validation sweeps live in.
+fn multi_rhs_drives() -> Vec<Vec<Voltage>> {
+    (0..MULTI_RHS_INPUTS)
+        .map(|k| {
+            (0..MULTI_RHS_SIZE)
+                .map(|r| {
+                    let phase = r as f64 / MULTI_RHS_SIZE as f64 + 0.1 * k as f64;
+                    Voltage::from_volts(0.5 + 0.4 * phase.sin())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Both multi-RHS entries pin the dense-LU engine so they measure the same
+/// arithmetic: the serial path factors once per input, the batched path
+/// factors once per repetition and backsolves per input.
+fn multi_rhs_options() -> SolveOptions {
+    SolveOptions {
+        method: Method::DenseLu,
+        ..SolveOptions::default()
+    }
+}
+
+fn multi_rhs_crossbar() -> CrossbarCircuit {
+    CrossbarSpec::uniform(
+        MULTI_RHS_SIZE,
+        MULTI_RHS_SIZE,
+        Resistance::from_kilo_ohms(10.0),
+        Resistance::from_ohms(2.0),
+        Resistance::from_ohms(500.0),
+        Voltage::from_volts(1.0),
+    )
+    .build()
+    .expect("uniform crossbar builds")
+}
+
+/// Serial reference: every input re-drives the circuit and solves from
+/// scratch (assembly + factorization per input).
+fn dc_solve_multi_serial_workload() -> impl FnMut() {
+    let xbar = multi_rhs_crossbar();
+    let drives = multi_rhs_drives();
+    let options = multi_rhs_options();
+    move || {
+        for drive in &drives {
+            let circuit = xbar
+                .circuit()
+                .with_source_voltages(drive)
+                .expect("arity matches");
+            let solution = solve_dc(&circuit, &options).expect("healthy array solves");
+            assert!(solution.voltages().iter().all(|v| v.is_finite()));
+        }
+    }
+}
+
+/// Batched path: one [`PreparedSystem`] per repetition, every input a
+/// cached backsolve. The setup asserts 1e-12 equivalence against the
+/// serial reference once, outside the timed region.
+fn dc_solve_batch_workload() -> impl FnMut() {
+    let xbar = multi_rhs_crossbar();
+    let drives = multi_rhs_drives();
+    let options = multi_rhs_options();
+    let batch: Vec<Rhs> = drives
+        .iter()
+        .map(|drive| xbar.input_rhs(drive).expect("arity matches"))
+        .collect();
+
+    // Equivalence gate (untimed): the batched solutions must match the
+    // serial ones to 1e-12 relative, or the speedup below is meaningless.
+    let batch_options = BatchOptions {
+        base: options.clone(),
+        ..BatchOptions::default()
+    };
+    let mut prepared = PreparedSystem::build(xbar.circuit(), batch_options.clone())
+        .expect("linear crossbar prepares");
+    let batched =
+        solve_dc_batch(&mut prepared, xbar.circuit(), &batch).expect("batch solves");
+    for (drive, solution) in drives.iter().zip(&batched) {
+        let circuit = xbar
+            .circuit()
+            .with_source_voltages(drive)
+            .expect("arity matches");
+        let serial = solve_dc(&circuit, &options).expect("healthy array solves");
+        for (&a, &b) in serial.voltages().iter().zip(solution.voltages()) {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            assert!(
+                (a - b).abs() <= 1e-12 * scale,
+                "batched solve diverged from serial: {a} vs {b}"
+            );
+        }
+    }
+
+    move || {
+        let mut prepared = PreparedSystem::build(xbar.circuit(), batch_options.clone())
+            .expect("linear crossbar prepares");
+        let solutions =
+            solve_dc_batch(&mut prepared, xbar.circuit(), &batch).expect("batch solves");
+        assert_eq!(solutions.len(), MULTI_RHS_INPUTS);
+    }
+}
+
 /// Runs the fixed benchmark suite.
 ///
 /// `quick` lowers the repetition count (used by tests and the CI smoke
@@ -169,6 +278,12 @@ pub fn run_suite(quick: bool) -> Result<BenchReport, String> {
 
     entries.push(bench_entry("dc_solve_16", runs, dc_solve_workload(16)));
     entries.push(bench_entry("dc_solve_64", runs, dc_solve_workload(64)));
+    entries.push(bench_entry(
+        "dc_solve_multi_serial",
+        runs,
+        dc_solve_multi_serial_workload(),
+    ));
+    entries.push(bench_entry("dc_solve_batch", runs, dc_solve_batch_workload()));
 
     let mlp = Config::fully_connected_mlp(&[512, 256, 128]).map_err(|e| e.to_string())?;
     entries.push(bench_entry("simulate_mlp", runs, || {
@@ -440,12 +555,30 @@ mod tests {
     #[test]
     fn quick_suite_produces_entries_with_stages() {
         let report = run_suite(true).unwrap();
-        assert!(report.entries.len() >= 4, "{}", report.entries.len());
+        assert!(report.entries.len() >= 6, "{}", report.entries.len());
         for entry in &report.entries {
             assert!(entry.median_s > 0.0, "{} has no timing", entry.name);
             assert!(entry.p95_s >= entry.median_s);
             assert!(!entry.stages.is_empty(), "{} has no stages", entry.name);
         }
+        // The batched multi-RHS path must beat solving the same inputs
+        // serially by at least 2×: one factorization per repetition versus
+        // one per input leaves a wide margin over timing noise.
+        let median_of = |name: &str| {
+            report
+                .entries
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("missing entry {name}"))
+                .median_s
+        };
+        let serial = median_of("dc_solve_multi_serial");
+        let batch = median_of("dc_solve_batch");
+        assert!(
+            batch * 2.0 <= serial,
+            "batched multi-RHS solve is only {:.2}x faster than serial",
+            serial / batch
+        );
         // The simulate entry sees the paper hierarchy in its breakdown.
         let sim = report
             .entries

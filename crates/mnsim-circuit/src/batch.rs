@@ -1,0 +1,1023 @@
+//! Batched multi-RHS DC solving with factorization caching.
+//!
+//! The crossbar workloads in `mnsim-core` solve the *same* conductance
+//! network over and over with only the input-driven voltages changing:
+//! SPICE validation sweeps many input vectors per weight matrix, fault
+//! Monte-Carlo evaluates each defective crossbar under several reads, and a
+//! neural-network forward pass pushes a whole batch of activations through
+//! one mapped layer. [`solve_dc`](crate::solve::solve_dc) re-classifies the
+//! sources, re-assembles the nodal matrix, and cold-starts the linear solver
+//! for every one of those inputs.
+//!
+//! [`PreparedSystem`] lifts everything that depends only on the conductance
+//! structure out of the per-input path:
+//!
+//! * the source classification and node → unknown numbering,
+//! * the assembled reduced (or full-MNA) matrix,
+//! * the dense LU factorization when the dense path is selected
+//!   (`O(n³)` once, `O(n²)` per RHS),
+//! * a replayable right-hand-side plan so each new input vector only costs
+//!   an `O(nnz)` stamp replay,
+//! * and, on the conjugate-gradient path, the previous solution as a warm
+//!   start — correlated batches converge in a fraction of the cold
+//!   iteration count.
+//!
+//! **Soundness.** Reuse is only valid while the conductances are unchanged.
+//! A prepared system fingerprints the circuit it was built from (element
+//! kinds, nodes, and conductance bit patterns — voltage-source *values* are
+//! deliberately excluded because the batch overrides them) and refuses to
+//! solve a circuit whose fingerprint differs with
+//! [`CircuitError::StalePreparedSystem`]. Fault overlays and variation
+//! resamples therefore cannot silently reuse a stale factorization; use
+//! [`prepare_or_reuse`] to rebuild on change. Non-linear circuits (sinh
+//! memristors) re-linearize per operating point, so they fall back to
+//! per-solve [`solve_dc`](crate::solve::solve_dc) internally.
+
+use mnsim_obs as obs;
+use mnsim_tech::units::Voltage;
+
+use crate::cg::solve_cg_warm;
+use crate::dense::{DenseMatrix, LuFactors};
+use crate::error::CircuitError;
+use crate::mna::{Circuit, DcSolution, Element};
+use crate::solve::{finish, linearize, Linearized, Method, SolveOptions, DENSE_CUTOFF};
+use crate::sparse::{CsrMatrix, TripletMatrix};
+
+static BATCH_BUILDS: obs::Counter = obs::Counter::new("circuit.batch.prepared_builds");
+static BATCH_CALLS: obs::Counter = obs::Counter::new("circuit.batch.calls");
+static BATCH_SOLVES: obs::Counter = obs::Counter::new("circuit.batch.solves");
+static BATCH_DENSE: obs::Counter = obs::Counter::new("circuit.batch.dense_backsolves");
+static BATCH_CG_ITERATIONS: obs::Counter = obs::Counter::new("circuit.batch.cg_iterations");
+static BATCH_CG_ITERATIONS_PER_SOLVE: obs::Histogram =
+    obs::Histogram::new("circuit.batch.cg_iterations_per_solve");
+static BATCH_WARM_STARTS: obs::Counter = obs::Counter::new("circuit.batch.warm_starts");
+static BATCH_COLD_RETRIES: obs::Counter = obs::Counter::new("circuit.batch.cold_retries");
+static BATCH_STALE: obs::Counter = obs::Counter::new("circuit.batch.stale_rejections");
+static BATCH_FALLBACKS: obs::Counter = obs::Counter::new("circuit.batch.nonlinear_fallbacks");
+static CACHE_HITS: obs::Counter = obs::Counter::new("circuit.batch.cache_hits");
+static CACHE_INVALIDATIONS: obs::Counter = obs::Counter::new("circuit.batch.invalidations");
+
+/// Warm-start policy for the conjugate-gradient path of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStart {
+    /// Always start from zero — bitwise identical to per-input
+    /// [`solve_dc`](crate::solve::solve_dc).
+    Cold,
+    /// Start each solve from the previous solution (of this batch, or of
+    /// the previous batch for the first entry). The right default: batches
+    /// are usually correlated and an uncorrelated guess costs at most the
+    /// cold iteration count plus one retry.
+    #[default]
+    Previous,
+    /// Start each solve from the already-solved batch entry whose RHS is
+    /// nearest in Euclidean distance. Wins when a batch interleaves
+    /// uncorrelated input groups; costs an `O(k)` scan per solve.
+    Nearest,
+}
+
+/// Options for building a [`PreparedSystem`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchOptions {
+    /// Underlying solver options (method selection, CG and Newton knobs).
+    pub base: SolveOptions,
+    /// Warm-start policy on the CG path.
+    pub warm_start: WarmStart,
+}
+
+/// One right-hand side of a batch: the voltage of every ideal source, in
+/// element insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rhs {
+    volts: Vec<f64>,
+}
+
+impl Rhs {
+    /// Builds an RHS from typed source voltages.
+    pub fn from_voltages(voltages: &[Voltage]) -> Self {
+        Rhs {
+            volts: voltages.iter().map(|v| v.volts()).collect(),
+        }
+    }
+
+    /// Builds an RHS from raw volt values.
+    pub fn from_volts(volts: &[f64]) -> Self {
+        Rhs {
+            volts: volts.to_vec(),
+        }
+    }
+
+    /// The source voltages in volts, in element insertion order.
+    pub fn volts(&self) -> &[f64] {
+        &self.volts
+    }
+}
+
+/// One `b`-vector assembly step, recorded at build time and replayed per
+/// RHS in the exact order `solve_dc`'s assembly would execute it (so a
+/// cold-started batch solve is bitwise identical to the serial path).
+#[derive(Debug, Clone, Copy)]
+enum BOp {
+    /// `b[u] += g · v(node)` where `v` is the per-RHS driven voltage
+    /// (0 V for ground).
+    Scaled { u: usize, node: usize, g: f64 },
+    /// `b[u] += c` (equivalent-current and current-source terms).
+    Const { u: usize, c: f64 },
+    /// `b[u] = rhs[k]` (full-MNA source row).
+    Source { u: usize, k: usize },
+}
+
+/// How the linear system is solved once assembled.
+#[derive(Debug, Clone)]
+enum ReducedEngine {
+    /// Cached dense LU over the reduced system.
+    Dense(LuFactors),
+    /// Sparse matrix for (warm-started) conjugate gradients.
+    Cg(CsrMatrix),
+    /// No unknowns at all (every node driven or ground).
+    Empty,
+}
+
+#[derive(Debug, Clone)]
+enum SystemKind {
+    /// All sources grounded: reduced SPD system.
+    Reduced {
+        /// node → unknown index (`usize::MAX` for ground/driven nodes).
+        index: Vec<usize>,
+        unknowns: usize,
+        /// Per source (element order): driven node and sign of the value.
+        bindings: Vec<(usize, f64)>,
+        ops: Vec<BOp>,
+        engine: ReducedEngine,
+    },
+    /// Floating sources: cached full-MNA LU.
+    FullMna {
+        n_v: usize,
+        n: usize,
+        ops: Vec<BOp>,
+        lu: LuFactors,
+    },
+    /// Non-linear circuit: per-solve Newton fallback.
+    Nonlinear,
+}
+
+/// A DC system prepared once per conductance structure, able to solve many
+/// right-hand sides cheaply. See the [module docs](crate::batch) for the
+/// reuse contract.
+#[derive(Debug, Clone)]
+pub struct PreparedSystem {
+    fingerprint: u64,
+    node_count: usize,
+    n_sources: usize,
+    options: BatchOptions,
+    lin: Vec<Option<Linearized>>,
+    kind: SystemKind,
+    /// Previous CG solution for [`WarmStart::Previous`]; persists across
+    /// batch calls.
+    last_x: Option<Vec<f64>>,
+    /// Per-solve CG iteration counts of the most recent batch call
+    /// (0 for dense, full-MNA, and fallback solves).
+    last_iterations: Vec<usize>,
+}
+
+impl PreparedSystem {
+    /// Builds a prepared system from a circuit.
+    ///
+    /// All structure-dependent work happens here: source classification,
+    /// unknown numbering, matrix assembly, and (on the dense path) the LU
+    /// factorization — which also means a singular system is reported at
+    /// build time rather than on the first solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CircuitError::SingularSystem`] from the dense
+    /// factorization and rejects [`Method::Cg`] with floating sources
+    /// ([`CircuitError::InvalidElement`]).
+    pub fn build(circuit: &Circuit, options: BatchOptions) -> Result<Self, CircuitError> {
+        let _trace_span = obs::trace::span("circuit.batch.build", obs::trace::Level::Stage);
+        BATCH_BUILDS.inc();
+        let fingerprint = circuit_fingerprint(circuit);
+        let n_sources = circuit.source_count();
+        let node_count = circuit.node_count();
+
+        if circuit.is_nonlinear() {
+            return Ok(PreparedSystem {
+                fingerprint,
+                node_count,
+                n_sources,
+                options,
+                lin: Vec::new(),
+                kind: SystemKind::Nonlinear,
+                last_x: None,
+                last_iterations: Vec::new(),
+            });
+        }
+
+        let lin = linearize(circuit, None);
+        let mut bindings = Vec::with_capacity(n_sources);
+        let mut all_grounded = true;
+        for element in circuit.elements() {
+            if let Element::VoltageSource { npos, nneg, .. } = element {
+                if *nneg == Circuit::GROUND {
+                    bindings.push((*npos, 1.0));
+                } else if *npos == Circuit::GROUND {
+                    bindings.push((*nneg, -1.0));
+                } else {
+                    bindings.push((usize::MAX, 0.0));
+                    all_grounded = false;
+                }
+            }
+        }
+
+        let kind = if all_grounded {
+            build_reduced(circuit, &lin, &bindings, &options)?
+        } else {
+            if options.base.method == Method::Cg {
+                return Err(CircuitError::InvalidElement {
+                    reason: "conjugate-gradient path requires all voltage sources grounded"
+                        .into(),
+                });
+            }
+            build_full_mna(circuit, &lin)?
+        };
+
+        Ok(PreparedSystem {
+            fingerprint,
+            node_count,
+            n_sources,
+            options,
+            lin,
+            kind,
+            last_x: None,
+            last_iterations: Vec::new(),
+        })
+    }
+
+    /// The fingerprint of the circuit this system was prepared from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of voltage sources, i.e. the required [`Rhs`] arity.
+    pub fn rhs_len(&self) -> usize {
+        self.n_sources
+    }
+
+    /// The options the system was built with.
+    pub fn options(&self) -> &BatchOptions {
+        &self.options
+    }
+
+    /// `true` when `circuit` still matches the prepared structure (same
+    /// fingerprint), i.e. solving it through this system is sound.
+    pub fn matches(&self, circuit: &Circuit) -> bool {
+        circuit_fingerprint(circuit) == self.fingerprint
+    }
+
+    /// `true` when the iterative (CG) engine is active, i.e. warm starts
+    /// apply.
+    pub fn uses_cg(&self) -> bool {
+        matches!(
+            self.kind,
+            SystemKind::Reduced {
+                engine: ReducedEngine::Cg(_),
+                ..
+            }
+        )
+    }
+
+    /// Per-solve CG iteration counts of the most recent [`Self::solve_batch`]
+    /// call (0 entries for dense/full-MNA/fallback solves).
+    pub fn last_cg_iterations(&self) -> &[usize] {
+        &self.last_iterations
+    }
+
+    /// Solves a single right-hand side. Equivalent to a one-element
+    /// [`Self::solve_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve_batch`].
+    pub fn solve(&mut self, circuit: &Circuit, rhs: &Rhs) -> Result<DcSolution, CircuitError> {
+        let mut solutions = self.solve_batch(circuit, std::slice::from_ref(rhs))?;
+        solutions.pop().ok_or(CircuitError::DimensionMismatch {
+            expected: 1,
+            actual: 0,
+            what: "batch solution count",
+        })
+    }
+
+    /// Solves every right-hand side of `batch` against `circuit`, reusing
+    /// the cached structure.
+    ///
+    /// `circuit` must be the circuit the system was prepared from (or a
+    /// [`Circuit::with_source_voltages`] re-drive of it); it is used for
+    /// fingerprint verification and branch-current extraction.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::StalePreparedSystem`] when the conductance
+    ///   structure changed since [`PreparedSystem::build`].
+    /// * [`CircuitError::DimensionMismatch`] for wrong RHS arity.
+    /// * [`CircuitError::InvalidElement`] when one node is driven to two
+    ///   different voltages by the same RHS.
+    /// * Solver failures propagated from CG / LU / Newton.
+    pub fn solve_batch(
+        &mut self,
+        circuit: &Circuit,
+        batch: &[Rhs],
+    ) -> Result<Vec<DcSolution>, CircuitError> {
+        let _trace_span = obs::trace::span("circuit.batch.solve", obs::trace::Level::Stage);
+        let actual = circuit_fingerprint(circuit);
+        if actual != self.fingerprint {
+            BATCH_STALE.inc();
+            return Err(CircuitError::StalePreparedSystem {
+                expected: self.fingerprint,
+                actual,
+            });
+        }
+        BATCH_CALLS.inc();
+        self.last_iterations.clear();
+        for rhs in batch {
+            if rhs.volts.len() != self.n_sources {
+                return Err(CircuitError::DimensionMismatch {
+                    expected: self.n_sources,
+                    actual: rhs.volts.len(),
+                    what: "rhs source-voltage count",
+                });
+            }
+        }
+
+        let mut solutions = Vec::with_capacity(batch.len());
+        // (rhs, x) pairs solved during this call, for WarmStart::Nearest.
+        let mut solved_this_batch: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+        for rhs in batch {
+            BATCH_SOLVES.inc();
+            let solution = self.solve_one(circuit, rhs, &mut solved_this_batch)?;
+            solutions.push(solution);
+        }
+        Ok(solutions)
+    }
+
+    fn solve_one(
+        &mut self,
+        circuit: &Circuit,
+        rhs: &Rhs,
+        solved_this_batch: &mut Vec<(Vec<f64>, Vec<f64>)>,
+    ) -> Result<DcSolution, CircuitError> {
+        match &self.kind {
+            SystemKind::Nonlinear => {
+                BATCH_FALLBACKS.inc();
+                self.last_iterations.push(0);
+                let voltages: Vec<Voltage> =
+                    rhs.volts.iter().map(|&v| Voltage::from_volts(v)).collect();
+                let patched = circuit.with_source_voltages(&voltages)?;
+                crate::solve::solve_dc(&patched, &self.options.base)
+            }
+            SystemKind::FullMna { n_v, n, ops, lu } => {
+                let mut b = vec![0.0; *n];
+                for op in ops {
+                    match *op {
+                        BOp::Const { u, c } => b[u] += c,
+                        BOp::Source { u, k } => b[u] = rhs.volts[k],
+                        BOp::Scaled { .. } => {}
+                    }
+                }
+                BATCH_DENSE.inc();
+                self.last_iterations.push(0);
+                let x = lu.solve(&b)?;
+                let mut voltages = vec![0.0; self.node_count];
+                voltages[1..self.node_count].copy_from_slice(&x[..*n_v]);
+                finish(circuit, &self.lin, voltages)
+            }
+            SystemKind::Reduced {
+                index,
+                unknowns,
+                bindings,
+                ops,
+                engine,
+            } => {
+                // Per-RHS driven-node voltages, with conflict detection
+                // mirroring `solve_dc`'s source classification.
+                let mut driven = vec![f64::NAN; self.node_count];
+                for (k, &(node, sign)) in bindings.iter().enumerate() {
+                    let value = sign * rhs.volts[k];
+                    if !driven[node].is_nan() && driven[node] != value {
+                        return Err(CircuitError::InvalidElement {
+                            reason: format!(
+                                "node {node} driven to both {} V and {value} V",
+                                driven[node]
+                            ),
+                        });
+                    }
+                    driven[node] = value;
+                }
+                let driven_voltage = |node: usize| -> f64 {
+                    if node == Circuit::GROUND {
+                        0.0
+                    } else {
+                        driven[node]
+                    }
+                };
+
+                let mut b = vec![0.0; *unknowns];
+                for op in ops {
+                    match *op {
+                        BOp::Scaled { u, node, g } => b[u] += g * driven_voltage(node),
+                        BOp::Const { u, c } => b[u] += c,
+                        BOp::Source { .. } => {}
+                    }
+                }
+
+                let x = match engine {
+                    ReducedEngine::Empty => Vec::new(),
+                    ReducedEngine::Dense(lu) => {
+                        BATCH_DENSE.inc();
+                        self.last_iterations.push(0);
+                        lu.solve(&b)?
+                    }
+                    ReducedEngine::Cg(csr) => {
+                        let x0: Option<&[f64]> = match self.options.warm_start {
+                            WarmStart::Cold => None,
+                            WarmStart::Previous => self.last_x.as_deref(),
+                            WarmStart::Nearest => solved_this_batch
+                                .iter()
+                                .min_by(|(ra, _), (rb, _)| {
+                                    let da = dist2(ra, &rhs.volts);
+                                    let db = dist2(rb, &rhs.volts);
+                                    da.total_cmp(&db)
+                                })
+                                .map(|(_, x)| x.as_slice())
+                                .or(self.last_x.as_deref()),
+                        };
+                        if x0.is_some() {
+                            BATCH_WARM_STARTS.inc();
+                        }
+                        let (x, stats) = match solve_cg_warm(csr, &b, x0, &self.options.base.cg)
+                        {
+                            Ok(result) => result,
+                            // A pathological warm start can stall where a
+                            // cold start would converge; retry cold before
+                            // giving up so the batch path is never *less*
+                            // robust than the serial one.
+                            Err(CircuitError::LinearNoConvergence { .. }) if x0.is_some() => {
+                                BATCH_COLD_RETRIES.inc();
+                                solve_cg_warm(csr, &b, None, &self.options.base.cg)?
+                            }
+                            Err(e) => return Err(e),
+                        };
+                        BATCH_CG_ITERATIONS.add(stats.iterations as u64);
+                        BATCH_CG_ITERATIONS_PER_SOLVE.record(stats.iterations as f64);
+                        self.last_iterations.push(stats.iterations);
+                        if self.options.warm_start == WarmStart::Nearest {
+                            solved_this_batch.push((rhs.volts.clone(), x.clone()));
+                        }
+                        self.last_x = Some(x.clone());
+                        x
+                    }
+                };
+
+                let mut voltages = vec![0.0; self.node_count];
+                for node in 1..self.node_count {
+                    let v = driven_voltage(node);
+                    voltages[node] = if v.is_nan() { x[index[node]] } else { v };
+                }
+                finish(circuit, &self.lin, voltages)
+            }
+        }
+    }
+}
+
+/// Solves every RHS of `batch` through `prepared`, in order.
+///
+/// Free-function form of [`PreparedSystem::solve_batch`]; see there for the
+/// contract and error conditions.
+///
+/// # Errors
+///
+/// Same as [`PreparedSystem::solve_batch`].
+pub fn solve_dc_batch(
+    prepared: &mut PreparedSystem,
+    circuit: &Circuit,
+    batch: &[Rhs],
+) -> Result<Vec<DcSolution>, CircuitError> {
+    prepared.solve_batch(circuit, batch)
+}
+
+/// Reuses `slot`'s prepared system when it still matches `circuit` (same
+/// fingerprint and options); rebuilds it otherwise.
+///
+/// This is the invalidation idiom for call sites whose conductances change
+/// between batches (fault overlays, variation resamples): the stale system
+/// is dropped and rebuilt instead of erroring.
+///
+/// # Errors
+///
+/// Propagates [`PreparedSystem::build`] failures.
+pub fn prepare_or_reuse<'a>(
+    slot: &'a mut Option<PreparedSystem>,
+    circuit: &Circuit,
+    options: &BatchOptions,
+) -> Result<&'a mut PreparedSystem, CircuitError> {
+    let rebuild = match slot.as_ref() {
+        Some(prepared) => {
+            if prepared.matches(circuit) && prepared.options() == options {
+                CACHE_HITS.inc();
+                false
+            } else {
+                CACHE_INVALIDATIONS.inc();
+                true
+            }
+        }
+        None => true,
+    };
+    if rebuild {
+        *slot = Some(PreparedSystem::build(circuit, options.clone())?);
+    }
+    match slot.as_mut() {
+        Some(prepared) => Ok(prepared),
+        // Unreachable: the slot was just filled above.
+        None => Err(CircuitError::InvalidElement {
+            reason: "prepared-system slot unexpectedly empty".into(),
+        }),
+    }
+}
+
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// FNV-1a over the conductance-relevant structure of a circuit.
+///
+/// Voltage-source *values* are excluded (the batch overrides them); every
+/// other element field — including current-source values, which feed the
+/// cached static RHS terms — participates, so any change that would
+/// invalidate the cached assembly changes the fingerprint.
+pub fn circuit_fingerprint(circuit: &Circuit) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(PRIME);
+    };
+    mix(circuit.node_count() as u64);
+    mix(circuit.element_count() as u64);
+    for element in circuit.elements() {
+        match element {
+            Element::Resistor { n1, n2, resistance } => {
+                mix(1);
+                mix(*n1 as u64);
+                mix(*n2 as u64);
+                mix(resistance.ohms().to_bits());
+            }
+            Element::VoltageSource { npos, nneg, .. } => {
+                mix(2);
+                mix(*npos as u64);
+                mix(*nneg as u64);
+            }
+            Element::CurrentSource { from, to, current } => {
+                mix(3);
+                mix(*from as u64);
+                mix(*to as u64);
+                mix(current.amperes().to_bits());
+            }
+            Element::Memristor { n1, n2, state, iv } => {
+                mix(4);
+                mix(*n1 as u64);
+                mix(*n2 as u64);
+                mix(state.ohms().to_bits());
+                match iv {
+                    mnsim_tech::memristor::IvModel::Linear => mix(0),
+                    mnsim_tech::memristor::IvModel::Sinh { alpha } => {
+                        mix(1);
+                        mix(alpha.to_bits());
+                    }
+                }
+            }
+            Element::Capacitor {
+                n1,
+                n2,
+                capacitance,
+            } => {
+                mix(5);
+                mix(*n1 as u64);
+                mix(*n2 as u64);
+                mix(capacitance.farads().to_bits());
+            }
+        }
+    }
+    h
+}
+
+/// Assembles the reduced SPD system and its RHS replay plan. Mirrors
+/// `solve::solve_reduced` stamp-for-stamp so a cold-started batch is
+/// bitwise identical to the serial path.
+fn build_reduced(
+    circuit: &Circuit,
+    lin: &[Option<Linearized>],
+    bindings: &[(usize, f64)],
+    options: &BatchOptions,
+) -> Result<SystemKind, CircuitError> {
+    let n_nodes = circuit.node_count();
+    let mut is_driven = vec![false; n_nodes];
+    for &(node, _) in bindings {
+        is_driven[node] = true;
+    }
+
+    let mut index = vec![usize::MAX; n_nodes];
+    let mut unknowns = 0usize;
+    for (node, slot) in index.iter_mut().enumerate().skip(1) {
+        if !is_driven[node] {
+            *slot = unknowns;
+            unknowns += 1;
+        }
+    }
+    let fixed = |node: usize| node == Circuit::GROUND || is_driven[node];
+
+    let mut triplets = TripletMatrix::new(unknowns, unknowns);
+    let mut ops = Vec::new();
+
+    for (idx, element) in circuit.elements().iter().enumerate() {
+        match element {
+            Element::Resistor { n1, n2, .. }
+            | Element::Memristor { n1, n2, .. }
+            | Element::Capacitor { n1, n2, .. } => {
+                let Some(Linearized { g, ieq }) = lin[idx] else {
+                    continue;
+                };
+                let i1 = index[*n1];
+                let i2 = index[*n2];
+                if i1 != usize::MAX {
+                    triplets.add(i1, i1, g);
+                    if fixed(*n2) {
+                        ops.push(BOp::Scaled {
+                            u: i1,
+                            node: *n2,
+                            g,
+                        });
+                    } else {
+                        triplets.add(i1, i2, -g);
+                    }
+                    ops.push(BOp::Const { u: i1, c: -ieq });
+                }
+                if i2 != usize::MAX {
+                    triplets.add(i2, i2, g);
+                    if fixed(*n1) {
+                        ops.push(BOp::Scaled {
+                            u: i2,
+                            node: *n1,
+                            g,
+                        });
+                    } else {
+                        triplets.add(i2, i1, -g);
+                    }
+                    ops.push(BOp::Const { u: i2, c: ieq });
+                }
+            }
+            Element::CurrentSource { from, to, current } => {
+                let i = current.amperes();
+                if index[*from] != usize::MAX {
+                    ops.push(BOp::Const {
+                        u: index[*from],
+                        c: -i,
+                    });
+                }
+                if index[*to] != usize::MAX {
+                    ops.push(BOp::Const {
+                        u: index[*to],
+                        c: i,
+                    });
+                }
+            }
+            Element::VoltageSource { .. } => {} // encoded via bindings
+        }
+    }
+
+    let engine = if unknowns == 0 {
+        ReducedEngine::Empty
+    } else {
+        let use_dense = match options.base.method {
+            Method::Cg => false,
+            Method::DenseLu => true,
+            Method::Auto => unknowns < DENSE_CUTOFF,
+        };
+        let csr = triplets.to_csr();
+        if use_dense {
+            ReducedEngine::Dense(DenseMatrix::from_rows(&csr.to_dense()).factor()?)
+        } else {
+            ReducedEngine::Cg(csr)
+        }
+    };
+
+    Ok(SystemKind::Reduced {
+        index,
+        unknowns,
+        bindings: bindings.to_vec(),
+        ops,
+        engine,
+    })
+}
+
+/// Assembles and factors the full-MNA system (floating sources). The matrix
+/// does not depend on source values — only the `b[col] = V` rows do — so
+/// the LU is cached and each RHS costs one back-substitution.
+fn build_full_mna(
+    circuit: &Circuit,
+    lin: &[Option<Linearized>],
+) -> Result<SystemKind, CircuitError> {
+    let n_nodes = circuit.node_count();
+    let n_v = n_nodes - 1;
+    let sources: Vec<usize> = circuit
+        .elements()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, Element::VoltageSource { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let n = n_v + sources.len();
+    let mut a = DenseMatrix::zeros(n);
+    let mut ops = Vec::new();
+
+    let row = |node: usize| -> Option<usize> {
+        if node == Circuit::GROUND {
+            None
+        } else {
+            Some(node - 1)
+        }
+    };
+
+    for (idx, element) in circuit.elements().iter().enumerate() {
+        match element {
+            Element::Resistor { n1, n2, .. }
+            | Element::Memristor { n1, n2, .. }
+            | Element::Capacitor { n1, n2, .. } => {
+                let Some(Linearized { g, ieq }) = lin[idx] else {
+                    continue;
+                };
+                if let Some(r1) = row(*n1) {
+                    a[(r1, r1)] += g;
+                    if let Some(r2) = row(*n2) {
+                        a[(r1, r2)] -= g;
+                    }
+                    ops.push(BOp::Const { u: r1, c: -ieq });
+                }
+                if let Some(r2) = row(*n2) {
+                    a[(r2, r2)] += g;
+                    if let Some(r1) = row(*n1) {
+                        a[(r2, r1)] -= g;
+                    }
+                    ops.push(BOp::Const { u: r2, c: ieq });
+                }
+            }
+            Element::CurrentSource { from, to, current } => {
+                if let Some(r) = row(*from) {
+                    ops.push(BOp::Const {
+                        u: r,
+                        c: -current.amperes(),
+                    });
+                }
+                if let Some(r) = row(*to) {
+                    ops.push(BOp::Const {
+                        u: r,
+                        c: current.amperes(),
+                    });
+                }
+            }
+            Element::VoltageSource { .. } => {}
+        }
+    }
+
+    for (k, &src_idx) in sources.iter().enumerate() {
+        if let Element::VoltageSource { npos, nneg, .. } = &circuit.elements()[src_idx] {
+            let col = n_v + k;
+            if let Some(r) = row(*npos) {
+                a[(r, col)] += 1.0;
+                a[(col, r)] += 1.0;
+            }
+            if let Some(r) = row(*nneg) {
+                a[(r, col)] -= 1.0;
+                a[(col, r)] -= 1.0;
+            }
+            ops.push(BOp::Source { u: col, k });
+        }
+    }
+
+    Ok(SystemKind::FullMna {
+        n_v,
+        n,
+        ops,
+        lu: a.factor()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::CrossbarSpec;
+    use crate::solve::solve_dc;
+    use mnsim_tech::memristor::IvModel;
+    use mnsim_tech::units::Resistance;
+
+    fn spec(rows: usize, cols: usize) -> CrossbarSpec {
+        CrossbarSpec::uniform(
+            rows,
+            cols,
+            Resistance::from_kilo_ohms(10.0),
+            Resistance::from_ohms(2.0),
+            Resistance::from_ohms(500.0),
+            Voltage::from_volts(1.0),
+        )
+    }
+
+    fn ramp_inputs(rows: usize, k: usize) -> Vec<Voltage> {
+        (0..rows)
+            .map(|i| Voltage::from_volts(0.2 + 0.05 * (i + k) as f64 / rows as f64))
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_bitwise_on_dense_path() {
+        let xbar = spec(3, 3).build().unwrap(); // 18 unknowns → Auto = dense
+        let options = BatchOptions::default();
+        let mut prepared = PreparedSystem::build(xbar.circuit(), options).unwrap();
+        assert!(!prepared.uses_cg());
+        for k in 0..4 {
+            let inputs = ramp_inputs(3, k);
+            let rhs = Rhs::from_voltages(&inputs);
+            let got = prepared.solve(xbar.circuit(), &rhs).unwrap();
+            let patched = xbar.circuit().with_source_voltages(&inputs).unwrap();
+            let want = solve_dc(&patched, &SolveOptions::default()).unwrap();
+            assert_eq!(got.voltages(), want.voltages());
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_bitwise_on_cold_cg_path() {
+        let xbar = spec(8, 8).build().unwrap(); // 128 unknowns → Auto = CG
+        let options = BatchOptions {
+            warm_start: WarmStart::Cold,
+            ..BatchOptions::default()
+        };
+        let mut prepared = PreparedSystem::build(xbar.circuit(), options).unwrap();
+        assert!(prepared.uses_cg());
+        for k in 0..3 {
+            let inputs = ramp_inputs(8, k);
+            let rhs = Rhs::from_voltages(&inputs);
+            let got = prepared.solve(xbar.circuit(), &rhs).unwrap();
+            let patched = xbar.circuit().with_source_voltages(&inputs).unwrap();
+            let want = solve_dc(&patched, &SolveOptions::default()).unwrap();
+            assert_eq!(got.voltages(), want.voltages());
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_no_solutions() {
+        let xbar = spec(2, 2).build().unwrap();
+        let mut prepared =
+            PreparedSystem::build(xbar.circuit(), BatchOptions::default()).unwrap();
+        let solutions = solve_dc_batch(&mut prepared, xbar.circuit(), &[]).unwrap();
+        assert!(solutions.is_empty());
+    }
+
+    #[test]
+    fn stale_circuit_is_rejected() {
+        let clean = spec(2, 2);
+        let mut mutated = spec(2, 2);
+        mutated.states[0] = Resistance::from_kilo_ohms(1.0);
+        let clean_xbar = clean.build().unwrap();
+        let mutated_xbar = mutated.build().unwrap();
+        let mut prepared =
+            PreparedSystem::build(clean_xbar.circuit(), BatchOptions::default()).unwrap();
+        let rhs = Rhs::from_voltages(&ramp_inputs(2, 0));
+        let err = prepared
+            .solve_batch(mutated_xbar.circuit(), std::slice::from_ref(&rhs))
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::StalePreparedSystem { .. }));
+        // Re-driving the sources does NOT invalidate.
+        let redriven = clean_xbar
+            .circuit()
+            .with_source_voltages(&ramp_inputs(2, 3))
+            .unwrap();
+        assert!(prepared.solve_batch(&redriven, &[rhs]).is_ok());
+    }
+
+    #[test]
+    fn prepare_or_reuse_rebuilds_on_change() {
+        let clean_xbar = spec(2, 2).build().unwrap();
+        let mut slot: Option<PreparedSystem> = None;
+        let options = BatchOptions::default();
+        let first = prepare_or_reuse(&mut slot, clean_xbar.circuit(), &options)
+            .unwrap()
+            .fingerprint();
+        let second = prepare_or_reuse(&mut slot, clean_xbar.circuit(), &options)
+            .unwrap()
+            .fingerprint();
+        assert_eq!(first, second);
+        let mut mutated = spec(2, 2);
+        mutated.states[3] = Resistance::from_kilo_ohms(2.0);
+        let mutated_xbar = mutated.build().unwrap();
+        let third = prepare_or_reuse(&mut slot, mutated_xbar.circuit(), &options)
+            .unwrap()
+            .fingerprint();
+        assert_ne!(first, third);
+    }
+
+    #[test]
+    fn rhs_arity_checked() {
+        let xbar = spec(3, 3).build().unwrap();
+        let mut prepared =
+            PreparedSystem::build(xbar.circuit(), BatchOptions::default()).unwrap();
+        let rhs = Rhs::from_volts(&[1.0, 2.0]); // 3 sources expected
+        assert!(matches!(
+            prepared.solve(xbar.circuit(), &rhs),
+            Err(CircuitError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nonlinear_falls_back_to_newton() {
+        let mut s = spec(2, 2);
+        s.iv = IvModel::Sinh { alpha: 2.0 };
+        let xbar = s.build().unwrap();
+        let mut prepared =
+            PreparedSystem::build(xbar.circuit(), BatchOptions::default()).unwrap();
+        let inputs = ramp_inputs(2, 1);
+        let got = prepared
+            .solve(xbar.circuit(), &Rhs::from_voltages(&inputs))
+            .unwrap();
+        let patched = xbar.circuit().with_source_voltages(&inputs).unwrap();
+        let want = solve_dc(&patched, &SolveOptions::default()).unwrap();
+        assert_eq!(got.voltages(), want.voltages());
+    }
+
+    #[test]
+    fn full_mna_path_reuses_lu() {
+        // Floating source between two grounded resistors.
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_resistor(a, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .unwrap();
+        c.add_resistor(b, Circuit::GROUND, Resistance::from_ohms(100.0))
+            .unwrap();
+        c.add_voltage_source(a, b, Voltage::from_volts(2.0)).unwrap();
+        let mut prepared = PreparedSystem::build(&c, BatchOptions::default()).unwrap();
+        for v in [1.0, 2.0, -3.0] {
+            let rhs = Rhs::from_volts(&[v]);
+            let got = prepared.solve(&c, &rhs).unwrap();
+            let patched = c
+                .with_source_voltages(&[Voltage::from_volts(v)])
+                .unwrap();
+            let want = solve_dc(&patched, &SolveOptions::default()).unwrap();
+            assert_eq!(got.voltages(), want.voltages());
+        }
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations_on_correlated_batch() {
+        let xbar = spec(10, 10).build().unwrap(); // 200 unknowns → CG
+        let batch: Vec<Rhs> = (0..6)
+            .map(|k| Rhs::from_voltages(&ramp_inputs(10, k)))
+            .collect();
+        let run = |warm_start: WarmStart| -> Vec<usize> {
+            let options = BatchOptions {
+                warm_start,
+                ..BatchOptions::default()
+            };
+            let mut prepared = PreparedSystem::build(xbar.circuit(), options).unwrap();
+            prepared.solve_batch(xbar.circuit(), &batch).unwrap();
+            prepared.last_cg_iterations().to_vec()
+        };
+        let cold = run(WarmStart::Cold);
+        let warm = run(WarmStart::Previous);
+        let cold_total: usize = cold.iter().sum();
+        let warm_total: usize = warm.iter().sum();
+        assert!(
+            warm_total < cold_total,
+            "warm {warm_total} !< cold {cold_total}"
+        );
+        // First solve of both runs is cold, so they match exactly.
+        assert_eq!(cold[0], warm[0]);
+    }
+
+    #[test]
+    fn conflicting_rhs_drivers_rejected() {
+        // Two sources onto the same node: fine while values agree,
+        // rejected when the RHS makes them disagree.
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(1.0))
+            .unwrap();
+        c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(1.0))
+            .unwrap();
+        c.add_resistor(a, Circuit::GROUND, Resistance::from_ohms(10.0))
+            .unwrap();
+        let mut prepared = PreparedSystem::build(&c, BatchOptions::default()).unwrap();
+        assert!(prepared.solve(&c, &Rhs::from_volts(&[2.0, 2.0])).is_ok());
+        assert!(matches!(
+            prepared.solve(&c, &Rhs::from_volts(&[1.0, 2.0])),
+            Err(CircuitError::InvalidElement { .. })
+        ));
+    }
+}

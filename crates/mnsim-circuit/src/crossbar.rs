@@ -276,6 +276,19 @@ impl CrossbarSpec {
     /// isolated by a broken line drop out of both sums, and a column whose
     /// sense resistor is detached reads zero.
     pub fn ideal_output_voltages(&self) -> Vec<Voltage> {
+        self.ideal_output_voltages_for(&self.inputs)
+    }
+
+    /// [`Self::ideal_output_voltages`] evaluated for an arbitrary input
+    /// vector instead of `self.inputs` — the closed-form companion of
+    /// solving one spec under many drive patterns (see
+    /// [`crate::batch::PreparedSystem`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not have one entry per row.
+    pub fn ideal_output_voltages_for(&self, inputs: &[Voltage]) -> Vec<Voltage> {
+        assert_eq!(inputs.len(), self.rows, "one input voltage per row");
         let gs = 1.0 / self.sense_resistance.ohms();
         let map = self.faults.as_ref().map(|overlay| &overlay.map);
         (0..self.cols)
@@ -285,12 +298,12 @@ impl CrossbarSpec {
                 }
                 let mut num = 0.0;
                 let mut den = gs;
-                for i in 0..self.rows {
+                for (i, input) in inputs.iter().enumerate() {
                     if map.is_some_and(|m| m.is_isolated(i, j)) {
                         continue;
                     }
                     let g = 1.0 / self.effective_state(i, j).ohms();
-                    num += self.inputs[i].volts() * g;
+                    num += input.volts() * g;
                     den += g;
                 }
                 Voltage::from_volts(num / den)
@@ -339,6 +352,26 @@ impl CrossbarCircuit {
     /// The element index of the sensing resistor of `col`.
     pub fn sense_element(&self, col: usize) -> usize {
         self.sense_elements[col]
+    }
+
+    /// Builds the batch right-hand side driving the word lines at `inputs`.
+    ///
+    /// The crossbar netlist adds exactly one voltage source per row, in row
+    /// order, so the RHS is the input vector itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DimensionMismatch`] when `inputs` does not
+    /// have one entry per row.
+    pub fn input_rhs(&self, inputs: &[Voltage]) -> Result<crate::batch::Rhs, CircuitError> {
+        if inputs.len() != self.spec.rows {
+            return Err(CircuitError::DimensionMismatch {
+                expected: self.spec.rows,
+                actual: inputs.len(),
+                what: "crossbar input vector length",
+            });
+        }
+        Ok(crate::batch::Rhs::from_voltages(inputs))
     }
 
     /// Extracts the column output voltages from a solution.

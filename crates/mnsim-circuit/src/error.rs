@@ -61,6 +61,17 @@ pub enum CircuitError {
         /// Which solver stage produced the values (e.g. "cg", "dense-lu").
         stage: &'static str,
     },
+    /// A [`crate::batch::PreparedSystem`] was asked to solve a circuit whose
+    /// conductance structure no longer matches the one it was built from
+    /// (e.g. a fault overlay or variation resample changed cell states).
+    /// The cached factorization would silently produce wrong answers, so the
+    /// solve is refused; rebuild the prepared system instead.
+    StalePreparedSystem {
+        /// Fingerprint of the circuit the system was prepared from.
+        expected: u64,
+        /// Fingerprint of the circuit presented at solve time.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -97,6 +108,11 @@ impl fmt::Display for CircuitError {
             CircuitError::NonFiniteSolution { stage } => {
                 write!(f, "solver stage `{stage}` produced non-finite voltages or currents")
             }
+            CircuitError::StalePreparedSystem { expected, actual } => write!(
+                f,
+                "prepared system is stale: built for circuit fingerprint {expected:#018x}, \
+                 asked to solve {actual:#018x}; rebuild it after conductance changes"
+            ),
         }
     }
 }

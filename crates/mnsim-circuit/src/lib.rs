@@ -9,6 +9,9 @@
 //! * [`mna`] — circuit representation (resistors, sources, memristors),
 //! * [`solve`] — DC operating-point analysis with Newton-Raphson for
 //!   non-linear memristor cells,
+//! * [`batch`] — multi-RHS solving over a [`batch::PreparedSystem`] that
+//!   caches the assembled system (and dense LU) per conductance structure
+//!   and warm-starts CG across correlated inputs,
 //! * [`crossbar`] — memristor-crossbar netlist construction matching the
 //!   paper's resistor-network model (cells + `2MN` wire segments + sensing
 //!   resistors), with optional hard-defect overlays (stuck cells, broken
@@ -52,6 +55,7 @@
 // Library code must surface failures as typed errors; tests may unwrap.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod batch;
 pub mod cg;
 pub mod crossbar;
 pub mod dense;
@@ -63,6 +67,9 @@ pub mod solve;
 pub mod sparse;
 pub mod transient;
 
+pub use batch::{
+    prepare_or_reuse, solve_dc_batch, BatchOptions, PreparedSystem, Rhs, WarmStart,
+};
 pub use crossbar::{CrossbarCircuit, CrossbarSpec, FaultOverlay};
 pub use error::CircuitError;
 pub use mna::{Circuit, DcSolution, Element, NodeId};

@@ -286,6 +286,45 @@ impl Circuit {
             .iter()
             .any(|e| matches!(e, Element::Capacitor { .. }))
     }
+
+    /// Number of ideal voltage sources in the circuit.
+    pub fn source_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::VoltageSource { .. }))
+            .count()
+    }
+
+    /// Returns a copy of the circuit with every voltage source re-driven to
+    /// the given values, in element insertion order.
+    ///
+    /// The conductance structure is untouched, which is exactly the
+    /// invariant [`crate::batch::PreparedSystem`] relies on: a prepared
+    /// system built from `self` stays valid for any circuit produced by this
+    /// method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DimensionMismatch`] when `voltages` does not
+    /// have one entry per voltage source.
+    pub fn with_source_voltages(&self, voltages: &[Voltage]) -> Result<Circuit, CircuitError> {
+        if voltages.len() != self.source_count() {
+            return Err(CircuitError::DimensionMismatch {
+                expected: self.source_count(),
+                actual: voltages.len(),
+                what: "voltage-source value count",
+            });
+        }
+        let mut patched = self.clone();
+        let mut k = 0usize;
+        for element in &mut patched.elements {
+            if let Element::VoltageSource { voltage, .. } = element {
+                *voltage = voltages[k];
+                k += 1;
+            }
+        }
+        Ok(patched)
+    }
 }
 
 /// The result of a DC operating-point analysis.
@@ -434,6 +473,33 @@ mod tests {
         )
         .unwrap();
         assert!(c.is_nonlinear());
+    }
+
+    #[test]
+    fn with_source_voltages_repatches_in_order() {
+        let mut c = Circuit::new();
+        let a = c.add_node();
+        let b = c.add_node();
+        c.add_voltage_source(a, Circuit::GROUND, Voltage::from_volts(1.0))
+            .unwrap();
+        c.add_resistor(a, b, Resistance::from_ohms(10.0)).unwrap();
+        c.add_voltage_source(b, Circuit::GROUND, Voltage::from_volts(2.0))
+            .unwrap();
+        assert_eq!(c.source_count(), 2);
+        let patched = c
+            .with_source_voltages(&[Voltage::from_volts(3.0), Voltage::from_volts(4.0)])
+            .unwrap();
+        let values: Vec<f64> = patched
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::VoltageSource { voltage, .. } => Some(voltage.volts()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec![3.0, 4.0]);
+        // Wrong arity is rejected.
+        assert!(c.with_source_voltages(&[Voltage::from_volts(1.0)]).is_err());
     }
 
     #[test]

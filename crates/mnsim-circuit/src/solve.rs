@@ -71,7 +71,8 @@ impl Default for SolveOptions {
 }
 
 /// Number of unknowns below which `Method::Auto` prefers the dense LU.
-const DENSE_CUTOFF: usize = 96;
+/// Shared with [`crate::batch`] so prepared systems pick the same path.
+pub(crate) const DENSE_CUTOFF: usize = 96;
 
 /// One linearized conductive branch: `I(n1→n2) = g·(v1 − v2) + i_eq`.
 #[derive(Debug, Clone, Copy)]

@@ -8,8 +8,8 @@
 //! model's `±σ` envelope (the paper: "the verification result of the
 //! variation-considered model is similar to that shown in Fig. 5").
 
+use mnsim_circuit::batch::{prepare_or_reuse, BatchOptions, PreparedSystem};
 use mnsim_circuit::crossbar::CrossbarSpec;
-use mnsim_circuit::solve::{solve_dc, SolveOptions};
 use mnsim_tech::interconnect::InterconnectNode;
 use mnsim_tech::memristor::MemristorModel;
 use mnsim_tech::units::Resistance;
@@ -95,6 +95,11 @@ pub fn measure_variation(
     let mut mean = 0.0;
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
+    // Every run resamples the cell resistances, which invalidates any cached
+    // factorization: `prepare_or_reuse` notices the changed conductance
+    // fingerprint and rebuilds rather than ever solving a stale system.
+    let mut prepared_slot: Option<PreparedSystem> = None;
+    let batch_options = BatchOptions::default();
     for _ in 0..runs {
         let states: Vec<Resistance> = (0..size * size)
             .map(|_| {
@@ -113,7 +118,9 @@ pub fn measure_variation(
             faults: None,
         };
         let built = spec.build()?;
-        let solution = solve_dc(built.circuit(), &SolveOptions::default())?;
+        let prepared = prepare_or_reuse(&mut prepared_slot, built.circuit(), &batch_options)?;
+        let rhs = built.input_rhs(&vec![device.v_read; size])?;
+        let solution = prepared.solve(built.circuit(), &rhs)?;
         let v_act = built.output_voltages(&solution)[size - 1].volts();
         let error = (v_idl - v_act) / v_idl;
         mean += error;

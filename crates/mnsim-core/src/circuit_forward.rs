@@ -1,0 +1,274 @@
+//! Circuit-backed neural-network layer forward passes.
+//!
+//! [`CircuitLayer`] maps one weight matrix onto its dual-crossbar circuits
+//! once ([`map_weights`]) and then evaluates arbitrarily many activation
+//! vectors against them through
+//! [`PreparedSystem`] batches: the nodal system is assembled (and, below
+//! the dense cutoff, LU-factored) a single time per polarity, every
+//! activation becomes a re-driven right-hand side, and consecutive solves
+//! warm-start CG from the previous solution. This is the circuit-level
+//! counterpart of the behavior-level matrix-vector product the paper's
+//! computation units perform.
+
+use mnsim_circuit::batch::{BatchOptions, PreparedSystem};
+use mnsim_circuit::crossbar::CrossbarCircuit;
+use mnsim_nn::tensor::Tensor;
+use mnsim_tech::units::Voltage;
+
+use crate::config::Config;
+use crate::error::CoreError;
+use crate::netlist_gen::map_weights;
+
+/// One weight matrix mapped onto solvable crossbar circuits, with cached
+/// prepared systems for repeated forward passes.
+#[derive(Debug)]
+pub struct CircuitLayer {
+    rows: usize,
+    cols: usize,
+    v_read: Voltage,
+    positive: CrossbarCircuit,
+    negative: Option<CrossbarCircuit>,
+    prepared_positive: PreparedSystem,
+    prepared_negative: Option<PreparedSystem>,
+}
+
+impl CircuitLayer {
+    /// Maps `weights` (shape `(outputs, inputs)`, values in `[-1, 1]`)
+    /// under `config` and prepares the resulting circuits for batched
+    /// solving.
+    ///
+    /// # Errors
+    ///
+    /// Same mapping conditions as [`map_weights`]; propagates circuit
+    /// construction and preparation failures.
+    pub fn new(config: &Config, weights: &Tensor) -> Result<Self, CoreError> {
+        let shape = weights.shape();
+        if shape.len() != 2 {
+            return Err(CoreError::Nn(mnsim_nn::NnError::ShapeMismatch {
+                expected: vec![0, 0],
+                actual: shape.to_vec(),
+                operation: "CircuitLayer::new",
+            }));
+        }
+        let inputs = shape[1];
+        // The mapped states are input-independent; the placeholder input
+        // vector only seeds the spec's default drive, which every forward
+        // pass overrides through the prepared system.
+        let mapped = map_weights(config, weights, &vec![0.0; inputs])?;
+        let options = BatchOptions::default();
+        let positive = mapped.positive.build()?;
+        let prepared_positive = PreparedSystem::build(positive.circuit(), options.clone())?;
+        let (negative, prepared_negative) = match &mapped.negative {
+            Some(spec) => {
+                let built = spec.build()?;
+                let prepared = PreparedSystem::build(built.circuit(), options)?;
+                (Some(built), Some(prepared))
+            }
+            None => (None, None),
+        };
+        Ok(CircuitLayer {
+            rows: mapped.positive.rows,
+            cols: mapped.positive.cols,
+            v_read: config.device.v_read,
+            positive,
+            negative,
+            prepared_positive,
+            prepared_negative,
+        })
+    }
+
+    /// Input count (crossbar rows) of the layer.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Output count (crossbar columns) of the layer.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Wire-free ideal differential output voltages for one activation
+    /// vector — the linear target the circuit approaches as wire
+    /// resistance vanishes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an activation vector of the wrong length.
+    pub fn ideal_forward(&self, activations: &[f64]) -> Result<Vec<f64>, CoreError> {
+        let drive = self.drive_voltages(activations)?;
+        let positive = self.positive.spec().ideal_output_voltages_for(&drive);
+        let negative = self
+            .negative
+            .as_ref()
+            .map(|built| built.spec().ideal_output_voltages_for(&drive));
+        Ok((0..self.cols)
+            .map(|col| {
+                let n = negative.as_ref().map_or(0.0, |v| v[col].volts());
+                positive[col].volts() - n
+            })
+            .collect())
+    }
+
+    /// Solves one activation vector; equivalent to a batch of one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitLayer::forward_batch`].
+    pub fn forward(&mut self, activations: &[f64]) -> Result<Vec<f64>, CoreError> {
+        let mut out = self.forward_batch(std::slice::from_ref(&activations.to_vec()))?;
+        out.pop().ok_or_else(|| CoreError::InvalidConfig {
+            parameter: "forward",
+            reason: "batch of one produced no solution".into(),
+        })
+    }
+
+    /// Solves a batch of activation vectors (values in `[0, 1]`, length =
+    /// [`CircuitLayer::rows`]) and returns the differential output
+    /// voltages (positive minus negative crossbar) per vector, in volts.
+    ///
+    /// Both polarities reuse their cached factorization; CG solves
+    /// warm-start from the previous activation in the batch.
+    ///
+    /// # Errors
+    ///
+    /// Rejects activation vectors of the wrong length; propagates solver
+    /// failures.
+    pub fn forward_batch(&mut self, batch: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CoreError> {
+        let mut rhs_positive = Vec::with_capacity(batch.len());
+        let mut rhs_negative = Vec::with_capacity(batch.len());
+        for activations in batch {
+            let drive = self.drive_voltages(activations)?;
+            rhs_positive.push(self.positive.input_rhs(&drive)?);
+            if let Some(built) = &self.negative {
+                rhs_negative.push(built.input_rhs(&drive)?);
+            }
+        }
+
+        let positive_solutions = self
+            .prepared_positive
+            .solve_batch(self.positive.circuit(), &rhs_positive)?;
+        let positive_outputs: Vec<Vec<Voltage>> = positive_solutions
+            .iter()
+            .map(|solution| self.positive.output_voltages(solution))
+            .collect();
+
+        let negative_outputs: Option<Vec<Vec<Voltage>>> =
+            match (&self.negative, &mut self.prepared_negative) {
+                (Some(built), Some(prepared)) => {
+                    let solutions = prepared.solve_batch(built.circuit(), &rhs_negative)?;
+                    Some(
+                        solutions
+                            .iter()
+                            .map(|solution| built.output_voltages(solution))
+                            .collect(),
+                    )
+                }
+                _ => None,
+            };
+
+        Ok(positive_outputs
+            .iter()
+            .enumerate()
+            .map(|(k, pos)| {
+                (0..self.cols)
+                    .map(|col| {
+                        let n = negative_outputs
+                            .as_ref()
+                            .map_or(0.0, |neg| neg[k][col].volts());
+                        pos[col].volts() - n
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Word-line drive voltages for one activation vector (`v_read · x`,
+    /// clamped to `[0, 1]` — the [`map_weights`] input mapping).
+    fn drive_voltages(&self, activations: &[f64]) -> Result<Vec<Voltage>, CoreError> {
+        if activations.len() != self.rows {
+            return Err(CoreError::Nn(mnsim_nn::NnError::ShapeMismatch {
+                expected: vec![self.rows],
+                actual: vec![activations.len()],
+                operation: "CircuitLayer activations",
+            }));
+        }
+        Ok(activations
+            .iter()
+            .map(|&x| Voltage::from_volts(self.v_read.volts() * x.clamp(0.0, 1.0)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WeightPolarity;
+    use mnsim_tech::interconnect::InterconnectNode;
+
+    fn config() -> Config {
+        let mut c = Config::fully_connected_mlp(&[4, 2]).unwrap();
+        c.crossbar_size = 4;
+        // The ideal-output comparison wants wire resistance to be a small
+        // perturbation: the finest node has the smallest segments.
+        c.interconnect = InterconnectNode::N28;
+        c
+    }
+
+    fn weights() -> Tensor {
+        Tensor::from_vec(&[2, 4], vec![0.5, -0.25, 1.0, 0.0, -1.0, 0.75, 0.1, -0.6]).unwrap()
+    }
+
+    #[test]
+    fn forward_tracks_ideal_at_small_wire_resistance() {
+        let mut layer = CircuitLayer::new(&config(), &weights()).unwrap();
+        assert_eq!(layer.rows(), 4);
+        assert_eq!(layer.cols(), 2);
+        let activations = vec![1.0, 0.5, 0.25, 0.75];
+        let actual = layer.forward(&activations).unwrap();
+        let ideal = layer.ideal_forward(&activations).unwrap();
+        let v_read = config().device.v_read.volts();
+        for (a, i) in actual.iter().zip(&ideal) {
+            assert!(
+                (a - i).abs() < 0.02 * v_read,
+                "circuit {a} V vs ideal {i} V"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_forwards_bitwise() {
+        let batch = vec![
+            vec![1.0, 0.5, 0.25, 0.75],
+            vec![0.9, 0.55, 0.2, 0.7],
+            vec![0.0, 1.0, 0.5, 0.1],
+        ];
+        let mut batched_layer = CircuitLayer::new(&config(), &weights()).unwrap();
+        let batched = batched_layer.forward_batch(&batch).unwrap();
+
+        let mut serial_layer = CircuitLayer::new(&config(), &weights()).unwrap();
+        for (k, activations) in batch.iter().enumerate() {
+            let single = serial_layer.forward(activations).unwrap();
+            // The warm-start state advances identically whether the
+            // activations arrive as one batch or one call at a time.
+            assert_eq!(batched[k], single, "vector {k}");
+        }
+    }
+
+    #[test]
+    fn unsigned_polarity_has_no_negative_crossbar() {
+        let mut c = config();
+        c.weight_polarity = WeightPolarity::Unsigned;
+        let w = Tensor::from_vec(&[2, 4], vec![0.5; 8]).unwrap();
+        let mut layer = CircuitLayer::new(&c, &w).unwrap();
+        let out = layer.forward(&[1.0; 4]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn wrong_activation_arity_rejected() {
+        let mut layer = CircuitLayer::new(&config(), &weights()).unwrap();
+        assert!(layer.forward(&[1.0, 0.5]).is_err());
+        assert!(layer.forward_batch(&[vec![0.2; 5]]).is_err());
+    }
+}

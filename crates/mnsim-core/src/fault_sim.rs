@@ -16,6 +16,7 @@
 
 use std::sync::Mutex;
 
+use mnsim_circuit::batch::{BatchOptions, PreparedSystem, Rhs};
 use mnsim_circuit::crossbar::CrossbarSpec;
 use mnsim_circuit::recovery::{solve_robust, RobustOptions};
 use mnsim_circuit::solve::{solve_dc, SolveOptions};
@@ -65,6 +66,13 @@ pub struct FaultConfig {
     /// seed-decorrelated and reduced in trial order, so the result is
     /// bit-identical for every thread count.
     pub threads: usize,
+    /// Input vectors read per surviving trial (≥ 1). The first read uses
+    /// the campaign's primary activations through the recovery ladder;
+    /// extra reads are solved as a batch over one
+    /// [`PreparedSystem`] per faulty array, reusing its factorization and
+    /// warm-started CG. The default of `1` reproduces the single-read
+    /// campaign bit for bit.
+    pub inputs_per_trial: usize,
 }
 
 impl Default for FaultConfig {
@@ -76,6 +84,7 @@ impl Default for FaultConfig {
             spare_rows: 2,
             retire_threshold: 0.25,
             threads: 0,
+            inputs_per_trial: 1,
         }
     }
 }
@@ -99,6 +108,12 @@ impl FaultConfig {
             return Err(CoreError::InvalidConfig {
                 parameter: "retire_threshold",
                 reason: format!("{} is not a fraction in [0, 1]", self.retire_threshold),
+            });
+        }
+        if self.inputs_per_trial == 0 {
+            return Err(CoreError::InvalidConfig {
+                parameter: "inputs_per_trial",
+                reason: "each trial needs at least one read vector".into(),
             });
         }
         self.rates.validate()?;
@@ -162,6 +177,11 @@ struct TrialContext<'a> {
     weight_quantizer: &'a Quantizer,
     output_span: f64,
     v_read: f64,
+    /// Extra read vectors beyond the primary one (`inputs_per_trial - 1`
+    /// entries), shared by every trial.
+    extra_reads: &'a [Vec<Voltage>],
+    /// Clean-array outputs for each extra read, solved once per campaign.
+    clean_extra_outputs: &'a [Vec<Voltage>],
     /// Trace span of the campaign; trial spans attach here even when the
     /// trial runs on a worker thread.
     trace_parent: u64,
@@ -227,19 +247,50 @@ fn run_trial(context: &TrialContext<'_>, trial: usize) -> Result<TrialOutcome, C
         .clean_spec
         .clone()
         .with_faults(map.clone(), context.device.r_max, context.device.r_min);
-    let (solution, recovery) = solve_robust(faulty_spec.build()?.circuit(), &RobustOptions::default())?;
-
     let faulty_xbar = faulty_spec.build()?;
+    let (solution, recovery) = solve_robust(faulty_xbar.circuit(), &RobustOptions::default())?;
+
     let faulty_outputs = faulty_xbar.output_voltages(&solution);
-    let deviations = context
+    let deviation_of = |clean: &Voltage, faulty: &Voltage| {
+        let relative = (clean.volts() - faulty.volts()).abs() / context.v_read;
+        relative * context.output_span
+    };
+    let mut deviations: Vec<f64> = context
         .clean_outputs
         .iter()
         .zip(&faulty_outputs)
-        .map(|(clean, faulty)| {
-            let relative = (clean.volts() - faulty.volts()).abs() / context.v_read;
-            relative * context.output_span
-        })
+        .map(|(clean, faulty)| deviation_of(clean, faulty))
         .collect();
+
+    // Extra reads re-drive the same faulty array: one prepared system per
+    // trial amortizes assembly/factorization and warm-starts CG across the
+    // correlated read vectors.
+    if !context.extra_reads.is_empty() {
+        let mut prepared = PreparedSystem::build(faulty_xbar.circuit(), BatchOptions::default())?;
+        for (read, clean) in context
+            .extra_reads
+            .iter()
+            .zip(context.clean_extra_outputs)
+        {
+            let rhs = faulty_xbar.input_rhs(read)?;
+            let outputs = match prepared.solve(faulty_xbar.circuit(), &rhs) {
+                Ok(sol) => faulty_xbar.output_voltages(&sol),
+                Err(_) => {
+                    // A defect map that defeats plain CG goes through the
+                    // same recovery ladder as the primary read.
+                    let patched = faulty_xbar.circuit().with_source_voltages(read)?;
+                    let (sol, _) = solve_robust(&patched, &RobustOptions::default())?;
+                    faulty_xbar.output_voltages(&sol)
+                }
+            };
+            deviations.extend(
+                clean
+                    .iter()
+                    .zip(&outputs)
+                    .map(|(c, f)| deviation_of(c, f)),
+            );
+        }
+    }
 
     // Behavior path: same map, weight-level mirror.
     let weight_damage = weight_damage_levels(context.weights, context.weight_quantizer, &map)?;
@@ -362,6 +413,32 @@ pub fn simulate_with_faults(
     let clean_solution = solve_dc(clean_xbar.circuit(), &SolveOptions::default())?;
     let clean_outputs = clean_xbar.output_voltages(&clean_solution);
 
+    // Extra per-trial read vectors are drawn *after* the primary campaign
+    // draws, so the RNG stream prefix — and therefore every statistic of a
+    // single-read campaign — is unchanged at the default `inputs_per_trial`
+    // of one.
+    let extra_reads: Vec<Vec<Voltage>> = (1..fault_config.inputs_per_trial)
+        .map(|_| {
+            (0..size)
+                .map(|_| Voltage::from_volts(device.v_read.volts() * rng.gen_range(0.25..=1.0)))
+                .collect()
+        })
+        .collect();
+    let clean_extra_outputs: Vec<Vec<Voltage>> = if extra_reads.is_empty() {
+        Vec::new()
+    } else {
+        let mut prepared = PreparedSystem::build(clean_xbar.circuit(), BatchOptions::default())?;
+        let batch: Vec<Rhs> = extra_reads
+            .iter()
+            .map(|read| clean_xbar.input_rhs(read))
+            .collect::<Result<_, _>>()?;
+        prepared
+            .solve_batch(clean_xbar.circuit(), &batch)?
+            .iter()
+            .map(|sol| clean_xbar.output_voltages(sol))
+            .collect()
+    };
+
     // Behavior-level mirror of the same array: weight = level fraction.
     let weights = Tensor::from_vec(
         &[size, size],
@@ -380,6 +457,8 @@ pub fn simulate_with_faults(
         weight_quantizer: &weight_quantizer,
         output_span: (config.output_levels() - 1) as f64,
         v_read: device.v_read.volts(),
+        extra_reads: &extra_reads,
+        clean_extra_outputs: &clean_extra_outputs,
         trace_parent: campaign_span.id(),
     };
     let outcomes = run_trials(&context, fault_config.trials, fault_config.threads)?;
@@ -561,6 +640,60 @@ mod tests {
     }
 
     #[test]
+    fn multi_read_trials_are_deterministic_and_extend_deviations() {
+        let config = small_config();
+        // Clean rates: the faulty array equals the clean one, and the
+        // batched faulty reads go through the same prepared-system
+        // arithmetic as the batched clean baseline — deviations stay
+        // exactly zero.
+        let clean_multi = FaultConfig {
+            rates: FaultRates::default(),
+            trials: 2,
+            inputs_per_trial: 3,
+            ..FaultConfig::default()
+        };
+        let a = simulate_with_faults(&config, &clean_multi).unwrap();
+        let b = simulate_with_faults(&config, &clean_multi).unwrap();
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.faults.unwrap().mean_deviation_levels, 0.0);
+
+        // Faulty rates: the extra reads see the same defects and contribute
+        // real deviation mass, deterministically.
+        let faulty_multi = FaultConfig {
+            rates: FaultRates::stuck_at(0.2),
+            trials: 2,
+            spare_rows: 0,
+            retire_threshold: 1.0,
+            inputs_per_trial: 3,
+            ..FaultConfig::default()
+        };
+        let multi = simulate_with_faults(&config, &faulty_multi)
+            .unwrap()
+            .faults
+            .unwrap();
+        let single = simulate_with_faults(
+            &config,
+            &FaultConfig {
+                inputs_per_trial: 1,
+                ..faulty_multi.clone()
+            },
+        )
+        .unwrap()
+        .faults
+        .unwrap();
+        assert!(multi.mean_deviation_levels > 0.0);
+        assert!(single.mean_deviation_levels > 0.0);
+        // The primary read is untouched by the extra ones.
+        assert_eq!(multi.solves, single.solves);
+        assert_eq!(multi.yield_fraction, single.yield_fraction);
+        let again = simulate_with_faults(&config, &faulty_multi)
+            .unwrap()
+            .faults
+            .unwrap();
+        assert_eq!(multi, again);
+    }
+
+    #[test]
     fn invalid_campaigns_rejected() {
         let config = small_config();
         let zero_trials = FaultConfig {
@@ -568,6 +701,11 @@ mod tests {
             ..FaultConfig::default()
         };
         assert!(simulate_with_faults(&config, &zero_trials).is_err());
+        let zero_reads = FaultConfig {
+            inputs_per_trial: 0,
+            ..FaultConfig::default()
+        };
+        assert!(simulate_with_faults(&config, &zero_reads).is_err());
         let bad_threshold = FaultConfig {
             retire_threshold: 2.0,
             ..FaultConfig::default()

@@ -15,6 +15,8 @@
 //! * [`dse`] — design-space exploration by exhaustive traversal (§VII),
 //! * [`netlist_gen`] — SPICE netlist generation for circuit-level
 //!   verification,
+//! * [`circuit_forward`] — circuit-backed layer forward passes over
+//!   batched activations (prepared systems + warm-started CG),
 //! * [`validate`] — the model-vs-circuit validation harness (Tables II/III),
 //! * [`custom`] — customized designs: PRIME and ISAAC (Table VII),
 //! * [`training`] — on-chip training cost model (paper future work),
@@ -43,6 +45,7 @@
 
 pub mod accuracy;
 pub mod arch;
+pub mod circuit_forward;
 pub mod config;
 pub mod custom;
 pub mod dse;
@@ -59,6 +62,7 @@ pub mod simulate;
 pub mod training;
 pub mod validate;
 
+pub use circuit_forward::CircuitLayer;
 pub use config::{Config, NetworkType, Precision, SignedMapping, WeightPolarity};
 pub use error::CoreError;
 pub use fault_sim::{simulate_with_faults, FaultConfig, FaultSummary};

@@ -107,10 +107,7 @@ pub fn map_weights(
         states
     };
 
-    let input_voltages: Vec<Voltage> = inputs
-        .iter()
-        .map(|&x| Voltage::from_volts(device.v_read.volts() * x.clamp(0.0, 1.0)))
-        .collect();
+    let input_voltages = input_drive_voltages(config, inputs);
 
     let base = CrossbarSpec {
         rows,
@@ -135,6 +132,20 @@ pub fn map_weights(
         positive: base,
         negative,
     })
+}
+
+/// Converts activation values in `[0, 1]` into word-line drive voltages
+/// (`v_read · x`, clamped) — the exact mapping [`map_weights`] applies.
+///
+/// Useful on its own when one mapped crossbar is re-driven by many input
+/// vectors through [`mnsim_circuit::batch::PreparedSystem`]: the states
+/// come from a single `map_weights` call and each input only needs its
+/// voltage vector.
+pub fn input_drive_voltages(config: &Config, inputs: &[f64]) -> Vec<Voltage> {
+    inputs
+        .iter()
+        .map(|&x| Voltage::from_volts(config.device.v_read.volts() * x.clamp(0.0, 1.0)))
+        .collect()
 }
 
 /// Generates the SPICE netlist text for a weight matrix + input vector.

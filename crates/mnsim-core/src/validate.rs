@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use mnsim_circuit::batch::{BatchOptions, PreparedSystem};
 use mnsim_circuit::crossbar::CrossbarSpec;
 use mnsim_circuit::solve::{solve_dc, SolveOptions};
 use mnsim_nn::data::{random_input_vector, random_weight_matrix};
@@ -27,7 +28,7 @@ use crate::accuracy::{AccuracyModel, Case};
 use crate::config::Config;
 use crate::error::CoreError;
 use crate::modules::crossbar::CrossbarModel;
-use crate::netlist_gen::map_weights;
+use crate::netlist_gen::{input_drive_voltages, map_weights};
 
 /// One model-vs-circuit comparison row (a Table II line).
 #[derive(Debug, Clone, PartialEq)]
@@ -77,16 +78,23 @@ pub fn validate_against_circuit(
 
     for _ in 0..matrices {
         let weights = random_weight_matrix(cols, rows, &mut rng);
+        // The conductance map depends only on the weights, so map/build
+        // once per matrix and re-drive the sources per input vector
+        // through one prepared system (factorization cache + warm start).
+        let mapped = map_weights(&block_config, &weights, &vec![0.0; rows])?;
+        let built = mapped.positive.build()?;
+        let mut prepared =
+            PreparedSystem::build(built.circuit(), BatchOptions::default())?;
         for _ in 0..inputs_per_matrix {
             let inputs = random_input_vector(rows, &mut rng);
-            let mapped = map_weights(&block_config, &weights, inputs.data())?;
-            let built = mapped.positive.build()?;
-            let solution = solve_dc(built.circuit(), &SolveOptions::default())?;
+            let drive = input_drive_voltages(&block_config, inputs.data());
+            let rhs = built.input_rhs(&drive)?;
+            let solution = prepared.solve(built.circuit(), &rhs)?;
             circuit_power += solution.dissipated_power(built.circuit()).watts();
 
             // Output deviation against the ideal (wire-free, linear) Eq.-2
             // result, averaged over columns.
-            let ideal = mapped.positive.ideal_output_voltages();
+            let ideal = mapped.positive.ideal_output_voltages_for(&drive);
             let actual = built.output_voltages(&solution);
             let mut dev = 0.0;
             let mut counted = 0usize;

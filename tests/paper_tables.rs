@@ -8,7 +8,12 @@
 //! ## Tolerances
 //!
 //! Every pipeline these goldens exercise is deterministic: seeded RNG,
-//! fixed-iteration-order solvers, serial reductions. The golden values are
+//! fixed-iteration-order solvers, serial reductions. The Table II rows now
+//! run through the batched `PreparedSystem` path in `validate` (one
+//! assembly per weight matrix, re-driven per input); the golden values
+//! below predate that change and were deliberately *not* regenerated — the
+//! suite passing is the proof that batching left the deviation numbers
+//! intact. The golden values are
 //! still compared with a relative tolerance of `1e-6` (absolute `1e-9`
 //! near zero) rather than bitwise, so the suite survives cross-platform
 //! `libm` rounding differences while catching any physical-model change,
