@@ -4,7 +4,8 @@
 //! designs, for (a) the large computation bank and (b) the VGG-16 CNN.
 
 use mnsim_core::config::Config;
-use mnsim_core::dse::{explore_parallel, Constraints, DesignPoint, DesignSpace, Objective};
+use mnsim_core::dse::{explore_with, Constraints, DesignPoint, DesignSpace, Objective};
+use mnsim_core::exec::ExecOptions;
 
 use super::{large_bank_config, row};
 
@@ -93,21 +94,18 @@ fn four_optima(result: &mnsim_core::dse::DseResult) -> Vec<&DesignPoint> {
 ///
 /// Propagates exploration errors.
 pub fn run() -> Result<String, Box<dyn std::error::Error>> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-
-    let bank = explore_parallel(
+    let options = ExecOptions::default();
+    let bank = explore_with(
         &large_bank_config(),
         &DesignSpace::paper_large_bank(),
         &Constraints::crossbar_error(0.25),
-        threads,
+        &options,
     )?;
-    let cnn = explore_parallel(
+    let cnn = explore_with(
         &Config::vgg16_cnn(),
         &DesignSpace::paper_cnn(),
         &Constraints::crossbar_error(0.50),
-        threads,
+        &options,
     )?;
 
     let mut out = String::new();

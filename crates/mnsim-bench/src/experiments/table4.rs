@@ -3,7 +3,8 @@
 //! four targets (area / energy / latency / computation accuracy) under a
 //! 25 % crossbar-error constraint.
 
-use mnsim_core::dse::{explore_parallel, Constraints, DesignPoint, DesignSpace, Objective};
+use mnsim_core::dse::{explore_with, Constraints, DesignPoint, DesignSpace, Objective};
+use mnsim_core::exec::ExecOptions;
 
 use super::{large_bank_config, row};
 
@@ -18,7 +19,7 @@ pub fn run() -> Result<String, Box<dyn std::error::Error>> {
     let space = DesignSpace::paper_large_bank();
     let constraints = Constraints::crossbar_error(0.25);
     let start = std::time::Instant::now();
-    let result = explore_parallel(&base, &space, &constraints, num_threads())?;
+    let result = explore_with(&base, &space, &constraints, &ExecOptions::default())?;
     let elapsed = start.elapsed();
 
     let mut out = String::new();
@@ -93,12 +94,6 @@ pub fn render_design_rows(columns: &[&DesignPoint]) -> String {
         &fmt(&|p| p.parallelism.to_string()),
     ));
     out
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 //! (paper §VII.D).
 
 use mnsim_core::config::Config;
-use mnsim_core::dse::{explore_parallel, Constraints, DesignPoint, DesignSpace, Objective};
+use mnsim_core::dse::{explore_with, Constraints, DesignPoint, DesignSpace, Objective};
+use mnsim_core::exec::ExecOptions;
 
 use super::row;
 
@@ -19,11 +20,8 @@ pub fn run() -> Result<String, Box<dyn std::error::Error>> {
     let base = Config::vgg16_cnn();
     let space = DesignSpace::paper_cnn();
     let constraints = Constraints::crossbar_error(0.50);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
     let start = std::time::Instant::now();
-    let result = explore_parallel(&base, &space, &constraints, threads)?;
+    let result = explore_with(&base, &space, &constraints, &ExecOptions::default())?;
     let elapsed = start.elapsed();
 
     let mut out = String::new();

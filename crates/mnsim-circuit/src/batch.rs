@@ -837,6 +837,19 @@ mod tests {
     }
 
     #[test]
+    fn prepared_systems_are_thread_portable() {
+        // The parallel execution engine shares built circuits across worker
+        // threads by reference and hands each worker its own clone of the
+        // prepared system; both therefore must stay `Send + Sync` (every
+        // field is owned data — no interior mutability, no raw pointers).
+        fn assert_thread_portable<T: Send + Sync>() {}
+        assert_thread_portable::<PreparedSystem>();
+        assert_thread_portable::<crate::crossbar::CrossbarCircuit>();
+        assert_thread_portable::<Circuit>();
+        assert_thread_portable::<Rhs>();
+    }
+
+    #[test]
     fn batch_matches_serial_bitwise_on_dense_path() {
         let xbar = spec(3, 3).build().unwrap(); // 18 unknowns → Auto = dense
         let options = BatchOptions::default();

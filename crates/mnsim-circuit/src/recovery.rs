@@ -1,5 +1,5 @@
 //! Fault-tolerant DC solving: a typed recovery ladder around
-//! [`solve_dc`](crate::solve::solve_dc).
+//! [`solve_dc`].
 //!
 //! Defective crossbars produce brutally conditioned nodal systems: a broken
 //! line modeled as a 1 TΩ near-open next to ohm-scale wire segments spreads

@@ -3,7 +3,7 @@
 //!
 //! * [`accelerator`] — Level 1: I/O interfaces + cascaded banks,
 //! * [`bank`] — Level 2: units + adder tree + pooling + neurons + buffers,
-//! * [`unit`] — Level 3: crossbars + decoders + DACs + read circuits.
+//! * [`mod@unit`] — Level 3: crossbars + decoders + DACs + read circuits.
 
 pub mod accelerator;
 pub mod bank;

@@ -9,6 +9,13 @@
 //! warm-start CG from the previous solution. This is the circuit-level
 //! counterpart of the behavior-level matrix-vector product the paper's
 //! computation units perform.
+//!
+//! [`CircuitLayer::forward_batch_with`] shards a batch over the worker
+//! pool: each worker solves a contiguous, deterministic
+//! [`exec::shard_ranges`] slice against its own clone of the prepared
+//! systems, so the factorization caches are shared read-only and the
+//! warm-start chain inside each shard is reproducible for a fixed shard
+//! count.
 
 use mnsim_circuit::batch::{BatchOptions, PreparedSystem};
 use mnsim_circuit::crossbar::CrossbarCircuit;
@@ -17,17 +24,99 @@ use mnsim_tech::units::Voltage;
 
 use crate::config::Config;
 use crate::error::CoreError;
+use crate::exec::{self, ExecOptions};
 use crate::netlist_gen::map_weights;
 
-/// One weight matrix mapped onto solvable crossbar circuits, with cached
-/// prepared systems for repeated forward passes.
+/// The immutable half of a [`CircuitLayer`]: geometry and built circuits,
+/// shared read-only by every solving thread.
 #[derive(Debug)]
-pub struct CircuitLayer {
+struct Circuits {
     rows: usize,
     cols: usize,
     v_read: Voltage,
     positive: CrossbarCircuit,
     negative: Option<CrossbarCircuit>,
+}
+
+impl Circuits {
+    /// Word-line drive voltages for one activation vector (`v_read · x`,
+    /// clamped to `[0, 1]` — the [`map_weights`] input mapping).
+    fn drive_voltages(&self, activations: &[f64]) -> Result<Vec<Voltage>, CoreError> {
+        if activations.len() != self.rows {
+            return Err(CoreError::Nn(mnsim_nn::NnError::ShapeMismatch {
+                expected: vec![self.rows],
+                actual: vec![activations.len()],
+                operation: "CircuitLayer activations",
+            }));
+        }
+        Ok(activations
+            .iter()
+            .map(|&x| Voltage::from_volts(self.v_read.volts() * x.clamp(0.0, 1.0)))
+            .collect())
+    }
+
+    /// Solves `batch` against the given prepared systems (the mutable
+    /// warm-start/factorization state lives in the caller, so shards can
+    /// solve concurrently against clones).
+    fn solve_batch(
+        &self,
+        prepared_positive: &mut PreparedSystem,
+        prepared_negative: &mut Option<PreparedSystem>,
+        batch: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
+        let mut rhs_positive = Vec::with_capacity(batch.len());
+        let mut rhs_negative = Vec::with_capacity(batch.len());
+        for activations in batch {
+            let drive = self.drive_voltages(activations)?;
+            rhs_positive.push(self.positive.input_rhs(&drive)?);
+            if let Some(built) = &self.negative {
+                rhs_negative.push(built.input_rhs(&drive)?);
+            }
+        }
+
+        let positive_solutions =
+            prepared_positive.solve_batch(self.positive.circuit(), &rhs_positive)?;
+        let positive_outputs: Vec<Vec<Voltage>> = positive_solutions
+            .iter()
+            .map(|solution| self.positive.output_voltages(solution))
+            .collect();
+
+        let negative_outputs: Option<Vec<Vec<Voltage>>> =
+            match (&self.negative, prepared_negative) {
+                (Some(built), Some(prepared)) => {
+                    let solutions = prepared.solve_batch(built.circuit(), &rhs_negative)?;
+                    Some(
+                        solutions
+                            .iter()
+                            .map(|solution| built.output_voltages(solution))
+                            .collect(),
+                    )
+                }
+                _ => None,
+            };
+
+        Ok(positive_outputs
+            .iter()
+            .enumerate()
+            .map(|(k, pos)| {
+                (0..self.cols)
+                    .map(|col| {
+                        let n = negative_outputs
+                            .as_ref()
+                            .map_or(0.0, |neg| neg[k][col].volts());
+                        pos[col].volts() - n
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+/// One weight matrix mapped onto solvable crossbar circuits, with cached
+/// prepared systems for repeated forward passes.
+#[derive(Debug)]
+pub struct CircuitLayer {
+    circuits: Circuits,
     prepared_positive: PreparedSystem,
     prepared_negative: Option<PreparedSystem>,
 }
@@ -67,11 +156,13 @@ impl CircuitLayer {
             None => (None, None),
         };
         Ok(CircuitLayer {
-            rows: mapped.positive.rows,
-            cols: mapped.positive.cols,
-            v_read: config.device.v_read,
-            positive,
-            negative,
+            circuits: Circuits {
+                rows: mapped.positive.rows,
+                cols: mapped.positive.cols,
+                v_read: config.device.v_read,
+                positive,
+                negative,
+            },
             prepared_positive,
             prepared_negative,
         })
@@ -79,12 +170,12 @@ impl CircuitLayer {
 
     /// Input count (crossbar rows) of the layer.
     pub fn rows(&self) -> usize {
-        self.rows
+        self.circuits.rows
     }
 
     /// Output count (crossbar columns) of the layer.
     pub fn cols(&self) -> usize {
-        self.cols
+        self.circuits.cols
     }
 
     /// Wire-free ideal differential output voltages for one activation
@@ -95,13 +186,18 @@ impl CircuitLayer {
     ///
     /// Rejects an activation vector of the wrong length.
     pub fn ideal_forward(&self, activations: &[f64]) -> Result<Vec<f64>, CoreError> {
-        let drive = self.drive_voltages(activations)?;
-        let positive = self.positive.spec().ideal_output_voltages_for(&drive);
+        let drive = self.circuits.drive_voltages(activations)?;
+        let positive = self
+            .circuits
+            .positive
+            .spec()
+            .ideal_output_voltages_for(&drive);
         let negative = self
+            .circuits
             .negative
             .as_ref()
             .map(|built| built.spec().ideal_output_voltages_for(&drive));
-        Ok((0..self.cols)
+        Ok((0..self.circuits.cols)
             .map(|col| {
                 let n = negative.as_ref().map_or(0.0, |v| v[col].volts());
                 positive[col].volts() - n
@@ -127,75 +223,60 @@ impl CircuitLayer {
     /// voltages (positive minus negative crossbar) per vector, in volts.
     ///
     /// Both polarities reuse their cached factorization; CG solves
-    /// warm-start from the previous activation in the batch.
+    /// warm-start from the previous activation in the batch (and from the
+    /// previous call — the warm-start state persists on the layer).
     ///
     /// # Errors
     ///
     /// Rejects activation vectors of the wrong length; propagates solver
     /// failures.
     pub fn forward_batch(&mut self, batch: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CoreError> {
-        let mut rhs_positive = Vec::with_capacity(batch.len());
-        let mut rhs_negative = Vec::with_capacity(batch.len());
-        for activations in batch {
-            let drive = self.drive_voltages(activations)?;
-            rhs_positive.push(self.positive.input_rhs(&drive)?);
-            if let Some(built) = &self.negative {
-                rhs_negative.push(built.input_rhs(&drive)?);
-            }
-        }
-
-        let positive_solutions = self
-            .prepared_positive
-            .solve_batch(self.positive.circuit(), &rhs_positive)?;
-        let positive_outputs: Vec<Vec<Voltage>> = positive_solutions
-            .iter()
-            .map(|solution| self.positive.output_voltages(solution))
-            .collect();
-
-        let negative_outputs: Option<Vec<Vec<Voltage>>> =
-            match (&self.negative, &mut self.prepared_negative) {
-                (Some(built), Some(prepared)) => {
-                    let solutions = prepared.solve_batch(built.circuit(), &rhs_negative)?;
-                    Some(
-                        solutions
-                            .iter()
-                            .map(|solution| built.output_voltages(solution))
-                            .collect(),
-                    )
-                }
-                _ => None,
-            };
-
-        Ok(positive_outputs
-            .iter()
-            .enumerate()
-            .map(|(k, pos)| {
-                (0..self.cols)
-                    .map(|col| {
-                        let n = negative_outputs
-                            .as_ref()
-                            .map_or(0.0, |neg| neg[k][col].volts());
-                        pos[col].volts() - n
-                    })
-                    .collect()
-            })
-            .collect())
+        self.circuits
+            .solve_batch(&mut self.prepared_positive, &mut self.prepared_negative, batch)
     }
 
-    /// Word-line drive voltages for one activation vector (`v_read · x`,
-    /// clamped to `[0, 1]` — the [`map_weights`] input mapping).
-    fn drive_voltages(&self, activations: &[f64]) -> Result<Vec<Voltage>, CoreError> {
-        if activations.len() != self.rows {
-            return Err(CoreError::Nn(mnsim_nn::NnError::ShapeMismatch {
-                expected: vec![self.rows],
-                actual: vec![activations.len()],
-                operation: "CircuitLayer activations",
-            }));
+    /// [`CircuitLayer::forward_batch`] sharded over the worker pool.
+    ///
+    /// The batch is split into contiguous [`exec::shard_ranges`] slices —
+    /// one per worker — and every worker solves its shard against a fresh
+    /// **clone** of the layer's prepared systems, warm-starting only
+    /// within the shard. Consequences of that design:
+    ///
+    /// * shard boundaries depend on `(batch length, thread count)` only,
+    ///   so a run is **reproducible** for a fixed thread count;
+    /// * below the dense-LU cutoff solutions are direct and warm-start
+    ///   free, so the output is **bit-identical** to the serial batch at
+    ///   any thread count; above it, CG answers agree within solver
+    ///   tolerance but may differ in the last bits because each shard
+    ///   restarts its warm-start chain;
+    /// * the layer's own cached warm-start state is left untouched by the
+    ///   parallel path (`threads <= 1` delegates to
+    ///   [`forward_batch`](Self::forward_batch)
+    ///   and advances it as usual).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CircuitLayer::forward_batch`]; the error of
+    /// the earliest failing shard is returned.
+    pub fn forward_batch_with(
+        &mut self,
+        batch: &[Vec<f64>],
+        options: &ExecOptions,
+    ) -> Result<Vec<Vec<f64>>, CoreError> {
+        let threads = options.resolved_threads().min(batch.len().max(1));
+        if threads <= 1 {
+            return self.forward_batch(batch);
         }
-        Ok(activations
-            .iter()
-            .map(|&x| Voltage::from_volts(self.v_read.volts() * x.clamp(0.0, 1.0)))
-            .collect())
+        let ranges = exec::shard_ranges(batch.len(), threads);
+        let circuits = &self.circuits;
+        let prepared_positive = &self.prepared_positive;
+        let prepared_negative = &self.prepared_negative;
+        let shard_outputs = exec::try_map_slice(&ranges, threads, |_, range| {
+            let mut positive = prepared_positive.clone();
+            let mut negative = prepared_negative.clone();
+            circuits.solve_batch(&mut positive, &mut negative, &batch[range.clone()])
+        })?;
+        Ok(shard_outputs.into_iter().flatten().collect())
     }
 }
 
@@ -255,6 +336,28 @@ mod tests {
     }
 
     #[test]
+    fn sharded_batch_is_bit_identical_below_dense_cutoff() {
+        // 4×4 crossbars sit far below the dense-LU cutoff: every solve is
+        // a direct factorization hit, so sharding cannot perturb a bit.
+        let batch: Vec<Vec<f64>> = (0..17)
+            .map(|k| {
+                (0..4)
+                    .map(|i| ((k * 4 + i) as f64 * 0.37).fract())
+                    .collect()
+            })
+            .collect();
+        let mut serial_layer = CircuitLayer::new(&config(), &weights()).unwrap();
+        let serial = serial_layer.forward_batch(&batch).unwrap();
+        for threads in [0usize, 2, 3, 7] {
+            let mut layer = CircuitLayer::new(&config(), &weights()).unwrap();
+            let sharded = layer
+                .forward_batch_with(&batch, &ExecOptions::with_threads(threads))
+                .unwrap();
+            assert_eq!(serial, sharded, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn unsigned_polarity_has_no_negative_crossbar() {
         let mut c = config();
         c.weight_polarity = WeightPolarity::Unsigned;
@@ -270,5 +373,8 @@ mod tests {
         let mut layer = CircuitLayer::new(&config(), &weights()).unwrap();
         assert!(layer.forward(&[1.0, 0.5]).is_err());
         assert!(layer.forward_batch(&[vec![0.2; 5]]).is_err());
+        assert!(layer
+            .forward_batch_with(&[vec![0.2; 5], vec![0.1; 4]], &ExecOptions::with_threads(2))
+            .is_err());
     }
 }

@@ -28,7 +28,7 @@ use mnsim_tech::interconnect::InterconnectNode;
 use mnsim_tech::memristor::{CellType, DeviceKind, MemristorModel};
 use mnsim_tech::units::Resistance;
 
-use crate::error::CoreError;
+use crate::error::{ConfigError, CoreError};
 
 /// The algorithm class mapped onto the accelerator (`Network_Type`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -77,7 +77,7 @@ pub enum SignedMapping {
 ///
 /// The reference design uses one DAC per row (paper §III.C-3). Several
 /// published designs instead eliminate the DACs (paper §III.E-2, after
-/// [24]/[30] and ISAAC): inputs are streamed one bit per compute cycle
+/// \[24\]/\[30\] and ISAAC): inputs are streamed one bit per compute cycle
 /// through simple binary drivers, and the read results are shift-added
 /// over `input_bits` cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -201,65 +201,98 @@ impl Config {
         config
     }
 
-    /// Validates cross-parameter consistency.
+    /// Checks cross-parameter consistency and returns **every** violation
+    /// found, as typed [`ConfigError`] records (empty = valid).
     ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidConfig`] naming the offending Table I
-    /// parameter.
-    pub fn validate(&self) -> Result<(), CoreError> {
-        if !self.crossbar_size.is_power_of_two() || !(4..=1024).contains(&self.crossbar_size) {
-            return Err(CoreError::InvalidConfig {
-                parameter: "Crossbar_Size",
-                reason: format!(
-                    "must be a power of two in 4..=1024, got {}",
-                    self.crossbar_size
-                ),
+    /// [`Config::validate`] wraps the non-empty case into
+    /// [`CoreError::Config`]; call `check` directly to render all
+    /// problems of a configuration in one pass (the Table-I file front
+    /// end and DSE constraint tooling do).
+    pub fn check(&self) -> Vec<ConfigError> {
+        let mut errors = Vec::new();
+        let mut violation = |field_path: &str, reason: String, allowed: &str| {
+            errors.push(ConfigError {
+                field_path: field_path.to_string(),
+                reason,
+                allowed: allowed.to_string(),
             });
+        };
+
+        if !self.crossbar_size.is_power_of_two() || !(4..=1024).contains(&self.crossbar_size) {
+            violation(
+                "Crossbar_Size",
+                format!("got {}", self.crossbar_size),
+                "a power of two in 4..=1024",
+            );
         }
         if self.pooling_size == 0 {
-            return Err(CoreError::InvalidConfig {
-                parameter: "Pooling_Size",
-                reason: "must be positive".into(),
-            });
+            violation("Pooling_Size", "got 0".into(), "a positive window size");
         }
         if self.parallelism > self.crossbar_size {
-            return Err(CoreError::InvalidConfig {
-                parameter: "Parallelism_Degree",
-                reason: format!(
+            violation(
+                "Parallelism_Degree",
+                format!(
                     "{} read circuits exceed the {} crossbar columns",
                     self.parallelism, self.crossbar_size
                 ),
-            });
+                "0 (fully parallel) or at most Crossbar_Size",
+            );
         }
-        if self.interface_in == 0 || self.interface_out == 0 {
-            return Err(CoreError::InvalidConfig {
-                parameter: "Interface_Number",
-                reason: "interface widths must be positive".into(),
-            });
+        if self.interface_in == 0 {
+            violation(
+                "Interface_Number[0]",
+                "input interface width is 0".into(),
+                "a positive wire count",
+            );
+        }
+        if self.interface_out == 0 {
+            violation(
+                "Interface_Number[1]",
+                "output interface width is 0".into(),
+                "a positive wire count",
+            );
         }
         let p = &self.precision;
         for (name, bits) in [
-            ("input_bits", p.input_bits),
-            ("weight_bits", p.weight_bits),
-            ("output_bits", p.output_bits),
+            ("Precision.input_bits", p.input_bits),
+            ("Precision.weight_bits", p.weight_bits),
+            ("Precision.output_bits", p.output_bits),
         ] {
             if bits == 0 || bits > 16 {
-                return Err(CoreError::InvalidConfig {
-                    parameter: "Precision",
-                    reason: format!("{name} must be in 1..=16, got {bits}"),
-                });
+                violation(name, format!("got {bits}"), "1..=16 bits");
             }
         }
         let sense_ohms = self.sense_resistance.ohms();
         if sense_ohms.is_nan() || sense_ohms <= 0.0 {
-            return Err(CoreError::InvalidConfig {
-                parameter: "Sense_Resistance",
-                reason: "must be positive".into(),
-            });
+            violation(
+                "Sense_Resistance",
+                format!("got {sense_ohms} Ω"),
+                "a positive resistance",
+            );
         }
-        self.device.validate()?;
-        Ok(())
+        if let Err(e) = self.device.validate() {
+            violation(
+                "Memristor_Model",
+                e.to_string(),
+                "see MemristorModel::validate",
+            );
+        }
+        errors
+    }
+
+    /// Validates cross-parameter consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] carrying **every** violation (see
+    /// [`Config::check`]), not just the first one found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let errors = self.check();
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors.into())
+        }
     }
 
     /// Number of crossbars a weight needs for its bit slices:
@@ -431,7 +464,13 @@ impl Config {
                     config.device.r_max = Resistance::from_ohms(list[1]);
                 }
                 other => {
-                    return Err(err(format!("unknown configuration key `{other}`")));
+                    let reason = match nearest_key(other) {
+                        Some(suggestion) => format!(
+                            "unknown configuration key `{other}` (did you mean `{suggestion}`?)"
+                        ),
+                        None => format!("unknown configuration key `{other}`"),
+                    };
+                    return Err(err(reason));
                 }
             }
         }
@@ -455,6 +494,54 @@ impl Config {
         config.validate()?;
         Ok(config)
     }
+}
+
+/// Every key accepted by [`Config::from_text`], for did-you-mean
+/// suggestions. Keep in sync with the `match key` arms above.
+const KNOWN_KEYS: &[&str] = &[
+    "Network_Depth",
+    "Network_Scale",
+    "Interface_Number",
+    "Network_Type",
+    "Crossbar_Size",
+    "Pooling_Size",
+    "Spatial_Size",
+    "Weight_Polarity",
+    "CMOS_Tech",
+    "Cell_Type",
+    "Memristor_Model",
+    "Interconnect_Tech",
+    "Input_Encoding",
+    "Parallelism_Degree",
+    "Resistance_Range",
+];
+
+/// Case-insensitive Levenshtein distance, for typo suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(char::to_lowercase).collect();
+    let b: Vec<char> = b.chars().flat_map(char::to_lowercase).collect();
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The closest known configuration key, if it is close enough to be a
+/// plausible typo (distance ≤ 1/3 of the key length, minimum 2).
+fn nearest_key(unknown: &str) -> Option<&'static str> {
+    let (best, distance) = KNOWN_KEYS
+        .iter()
+        .map(|k| (*k, edit_distance(unknown, k)))
+        .min_by_key(|(_, d)| *d)?;
+    let budget = (best.len() / 3).max(2);
+    (distance <= budget).then_some(best)
 }
 
 /// Parses `[a b]` or `[a, b]` lists with `k`/`M` magnitude suffixes.
@@ -536,6 +623,47 @@ mod tests {
         let mut c = Config::fully_connected_mlp(&[64, 64]).unwrap();
         c.pooling_size = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn check_collects_every_violation() {
+        let mut c = Config::fully_connected_mlp(&[64, 64]).unwrap();
+        c.crossbar_size = 100;
+        c.pooling_size = 0;
+        c.precision.output_bits = 0;
+        c.precision.input_bits = 32;
+        let errors = c.check();
+        let paths: Vec<&str> = errors.iter().map(|e| e.field_path.as_str()).collect();
+        assert!(paths.contains(&"Crossbar_Size"), "{paths:?}");
+        assert!(paths.contains(&"Pooling_Size"), "{paths:?}");
+        assert!(paths.contains(&"Precision.output_bits"), "{paths:?}");
+        assert!(paths.contains(&"Precision.input_bits"), "{paths:?}");
+        match c.validate() {
+            Err(CoreError::Config { errors: e }) => assert_eq!(e, errors),
+            other => panic!("expected CoreError::Config, got {other:?}"),
+        }
+        assert!(Config::fully_connected_mlp(&[64, 64]).unwrap().check().is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_suggest_nearest() {
+        match Config::from_text("Crosbar_Size = 128\n") {
+            Err(CoreError::ConfigParse { line, reason }) => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("did you mean `Crossbar_Size`"), "{reason}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Nothing plausible nearby: no suggestion offered.
+        match Config::from_text("Quux = 1\n") {
+            Err(CoreError::ConfigParse { reason, .. }) => {
+                assert!(!reason.contains("did you mean"), "{reason}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert_eq!(nearest_key("parallelism_degree"), Some("Parallelism_Degree"));
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
     }
 
     #[test]

@@ -8,7 +8,6 @@
 //! constrained sweeps (Table V), trade-off curves (Figs. 7/8) and Pareto
 //! filtering.
 
-use std::sync::Mutex;
 use std::time::Instant;
 
 use mnsim_obs as obs;
@@ -17,6 +16,7 @@ use mnsim_tech::interconnect::InterconnectNode;
 
 use crate::config::Config;
 use crate::error::CoreError;
+use crate::exec::{self, ExecOptions};
 use crate::simulate::{simulate, Report};
 
 static DSE_POINTS: obs::Counter = obs::Counter::new("core.dse.points");
@@ -286,107 +286,76 @@ pub fn explore(
     space: &DesignSpace,
     constraints: &Constraints,
 ) -> Result<DseResult, CoreError> {
+    explore_with(base, space, constraints, &ExecOptions::serial())
+}
+
+/// Exhaustively traverses `space` around `base` on the shared [`exec`]
+/// worker pool.
+///
+/// Feasible designs are returned in traversal order (the order the
+/// design-space enumeration visits them) for every thread count, and
+/// the parallel path returns the error belonging to the *earliest*
+/// combination in traversal order — exactly what the serial traversal
+/// reports. The serial path stops at the first error; the parallel path
+/// still evaluates every combination (coverage is never silently dropped
+/// by a failure elsewhere).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyDesignSpace`] if no combination passes the
+/// constraints, and propagates evaluation errors.
+pub fn explore_with(
+    base: &Config,
+    space: &DesignSpace,
+    constraints: &Constraints,
+    options: &ExecOptions,
+) -> Result<DseResult, CoreError> {
     let _span = EXPLORE_SPAN.enter();
     let _trace_span = trace::span("dse.explore", trace::Level::Run);
     let started = Instant::now();
     let combos = space.combinations();
-    let mut feasible = Vec::new();
-    for &(size, p, wire) in &combos {
-        let point = evaluate_point(base, size, p, wire)?;
-        let admitted = constraints.admits(&point.report);
-        record_admission(admitted);
-        if admitted {
-            feasible.push(point);
-        }
-    }
+    let evaluated: Vec<Option<DesignPoint>> =
+        exec::try_map_slice(&combos, options.threads, |_, &(size, p, wire)| {
+            let point = evaluate_point(base, size, p, wire)?;
+            let admitted = constraints.admits(&point.report);
+            record_admission(admitted);
+            Ok::<_, CoreError>(admitted.then_some(point))
+        })?;
+    let feasible: Vec<DesignPoint> = evaluated.into_iter().flatten().collect();
     record_throughput(combos.len(), started);
     finish(combos.len(), feasible, constraints)
 }
 
 /// Multi-threaded variant of [`explore`].
 ///
-/// Unlike [`explore`] — which stops at the first evaluation error — every
-/// combination is still evaluated when one fails: an error in one chunk
-/// never silently skips the losing thread's remaining points. If any
-/// evaluation failed, the error belonging to the *earliest* combination in
-/// traversal order is returned, which is exactly the error a serial
-/// [`explore`] reports.
+/// Deprecated shim over [`explore_with`]; kept for source compatibility,
+/// including its historical ordering of the feasible list by
+/// `(crossbar_size, parallelism, interconnect nm)` rather than traversal
+/// order.
 ///
 /// # Errors
 ///
-/// Same conditions as [`explore`].
+/// Same conditions as [`explore_with`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use explore_with with ExecOptions (returns feasible designs in traversal order)"
+)]
 pub fn explore_parallel(
     base: &Config,
     space: &DesignSpace,
     constraints: &Constraints,
     threads: usize,
 ) -> Result<DseResult, CoreError> {
-    let _span = EXPLORE_SPAN.enter();
-    let trace_span = trace::span("dse.explore", trace::Level::Run);
-    let trace_parent = trace_span.id();
-    let started = Instant::now();
-    let combos = space.combinations();
-    let threads = threads.max(1).min(combos.len().max(1));
-    let chunk_size = combos.len().div_ceil(threads).max(1);
-    let feasible = Mutex::new(Vec::new());
-    // The error of the earliest-failing combination, by traversal index.
-    let first_error: Mutex<Option<(usize, CoreError)>> = Mutex::new(None);
-
-    let feasible_ref = &feasible;
-    let first_error_ref = &first_error;
-    std::thread::scope(|scope| {
-        for (chunk_index, chunk) in combos.chunks(chunk_size).enumerate() {
-            scope.spawn(move || {
-                let _chunk_span = trace::span_under(
-                    "dse.chunk",
-                    trace::Level::Chunk,
-                    chunk_index as i64,
-                    trace_parent,
-                );
-                let mut local = Vec::new();
-                for (offset, &(size, p, wire)) in chunk.iter().enumerate() {
-                    match evaluate_point(base, size, p, wire) {
-                        Ok(point) => {
-                            let admitted = constraints.admits(&point.report);
-                            record_admission(admitted);
-                            if admitted {
-                                local.push(point);
-                            }
-                        }
-                        Err(e) => {
-                            let combo_index = chunk_index * chunk_size + offset;
-                            let mut slot = first_error_ref
-                                .lock()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner);
-                            if slot.as_ref().is_none_or(|(i, _)| combo_index < *i) {
-                                *slot = Some((combo_index, e));
-                            }
-                            // Keep evaluating the rest of this chunk: an
-                            // error elsewhere must not drop coverage.
-                        }
-                    }
-                }
-                feasible_ref
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .extend(local);
-            });
-        }
-    });
-    record_throughput(combos.len(), started);
-
-    if let Some((_, e)) = first_error
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-    {
-        return Err(e);
-    }
-    let mut feasible = feasible
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    // Deterministic order regardless of thread interleaving.
-    feasible.sort_by_key(|p| (p.crossbar_size, p.parallelism, p.interconnect.nanometers()));
-    finish(combos.len(), feasible, constraints)
+    let mut result = explore_with(
+        base,
+        space,
+        constraints,
+        &ExecOptions::with_threads(threads.max(1)),
+    )?;
+    result
+        .feasible
+        .sort_by_key(|p| (p.crossbar_size, p.parallelism, p.interconnect.nanometers()));
+    Ok(result)
 }
 
 fn evaluate_point(
@@ -527,15 +496,34 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let serial = explore(&base(), &small_space(), &Constraints::default()).unwrap();
-        let parallel =
+        for threads in [0usize, 2, 4, 7] {
+            let parallel = explore_with(
+                &base(),
+                &small_space(),
+                &Constraints::default(),
+                &ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            // Traversal order + pure evaluation: the whole result is
+            // bit-identical to the serial traversal.
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_shim_sorts_by_design_key() {
+        let legacy =
             explore_parallel(&base(), &small_space(), &Constraints::default(), 4).unwrap();
-        assert_eq!(serial.evaluated, parallel.evaluated);
-        assert_eq!(serial.feasible.len(), parallel.feasible.len());
-        let key = |p: &DesignPoint| (p.crossbar_size, p.parallelism, p.interconnect);
-        let mut a: Vec<_> = serial.feasible.iter().map(key).collect();
-        a.sort_by_key(|k| (k.0, k.1, k.2.nanometers()));
-        let b: Vec<_> = parallel.feasible.iter().map(key).collect();
-        assert_eq!(a, b);
+        let mut sorted = legacy.feasible.clone();
+        sorted.sort_by_key(|p| (p.crossbar_size, p.parallelism, p.interconnect.nanometers()));
+        assert_eq!(legacy.feasible, sorted);
+        assert_eq!(
+            legacy.evaluated,
+            explore(&base(), &small_space(), &Constraints::default())
+                .unwrap()
+                .evaluated
+        );
     }
 
     #[test]

@@ -7,6 +7,37 @@ use mnsim_circuit::CircuitError;
 use mnsim_nn::NnError;
 use mnsim_tech::TechError;
 
+/// One invalid configuration field, as reported by
+/// [`Config::check`](crate::config::Config::check).
+///
+/// Unlike the stringly [`CoreError::InvalidConfig`] (kept for ad-hoc
+/// single-parameter failures), this is a fully typed record: where the
+/// violation sits, what was wrong, and what *would* have been accepted —
+/// so front ends can render every problem of a configuration at once
+/// instead of fixing them one error at a time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Dotted path of the offending field, using Table I names where they
+    /// exist (e.g. `Crossbar_Size`, `Precision.output_bits`).
+    pub field_path: String,
+    /// What is wrong with the current value.
+    pub reason: String,
+    /// The accepted range / set of values.
+    pub allowed: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (allowed: {})",
+            self.field_path, self.reason, self.allowed
+        )
+    }
+}
+
+impl Error for ConfigError {}
+
 /// Errors produced by configuration, simulation, or exploration.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -17,6 +48,13 @@ pub enum CoreError {
         parameter: &'static str,
         /// Description of the constraint that was violated.
         reason: String,
+    },
+    /// Configuration validation failed; every violation is listed (never
+    /// empty), so one round trip surfaces all problems at once.
+    Config {
+        /// Every invalid field found by
+        /// [`Config::check`](crate::config::Config::check).
+        errors: Vec<ConfigError>,
     },
     /// A configuration file could not be parsed.
     ConfigParse {
@@ -44,6 +82,21 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig { parameter, reason } => {
                 write!(f, "invalid configuration `{parameter}`: {reason}")
             }
+            CoreError::Config { errors } => {
+                write!(
+                    f,
+                    "invalid configuration ({} violation{}): ",
+                    errors.len(),
+                    if errors.len() == 1 { "" } else { "s" }
+                )?;
+                for (i, error) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{error}")?;
+                }
+                Ok(())
+            }
             CoreError::ConfigParse { line, reason } => {
                 write!(f, "configuration parse error at line {line}: {reason}")
             }
@@ -63,6 +116,9 @@ impl Error for CoreError {
             CoreError::Tech(e) => Some(e),
             CoreError::Circuit(e) => Some(e),
             CoreError::Nn(e) => Some(e),
+            // The violation list is never empty; the chain surfaces the
+            // first record (all of them are in the Display output).
+            CoreError::Config { errors } => errors.first().map(|e| e as _),
             _ => None,
         }
     }
@@ -71,6 +127,14 @@ impl Error for CoreError {
 impl From<TechError> for CoreError {
     fn from(e: TechError) -> Self {
         CoreError::Tech(e)
+    }
+}
+
+impl From<Vec<ConfigError>> for CoreError {
+    /// Lossless mapping of a [`Config::check`](crate::config::Config::check)
+    /// violation list into the error enum.
+    fn from(errors: Vec<ConfigError>) -> Self {
+        CoreError::Config { errors }
     }
 }
 
@@ -101,6 +165,27 @@ mod tests {
         let e: CoreError = TechError::NoConverter { bits: 12 }.into();
         assert!(Error::source(&e).is_some());
         assert!(e.to_string().contains("12-bit"));
+    }
+
+    #[test]
+    fn config_error_lists_every_violation() {
+        let errors = vec![
+            ConfigError {
+                field_path: "Crossbar_Size".into(),
+                reason: "100 is not a power of two".into(),
+                allowed: "a power of two in 4..=1024".into(),
+            },
+            ConfigError {
+                field_path: "Pooling_Size".into(),
+                reason: "must be positive".into(),
+                allowed: ">= 1".into(),
+            },
+        ];
+        let e: CoreError = errors.into();
+        let text = e.to_string();
+        assert!(text.contains("2 violations"), "{text}");
+        assert!(text.contains("Crossbar_Size") && text.contains("Pooling_Size"), "{text}");
+        assert!(text.contains("allowed: a power of two in 4..=1024"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Shared parallel execution engine for the simulation pipeline.
+//!
+//! Every threaded traversal in the platform — bank evaluation inside
+//! [`crate::simulate::simulate_with`], the fault-injection Monte-Carlo
+//! loop, design-space exploration, the model-vs-circuit validation
+//! harness — runs on the same scoped-thread worker pool with the same
+//! determinism contract:
+//!
+//! * **Work-stealing chunk queue.** Items are handed out in chunks from a
+//!   single atomic cursor, so a slow item (a 1024² bank next to a 4²
+//!   bank) never idles the other workers the way static chunking does.
+//! * **Deterministic reduction.** Every worker tags results with the item
+//!   index; the pool sorts by index before returning, so callers reduce
+//!   in canonical order and aggregates are **bit-identical** to the
+//!   serial loop for every thread count.
+//! * **Earliest-index errors.** When items can fail, the error returned
+//!   is the one belonging to the earliest item in traversal order — the
+//!   exact error a serial loop reports — regardless of which thread hit
+//!   it first. Parallel runs still evaluate every item (coverage is
+//!   never silently dropped by a failure elsewhere).
+//! * **Trace affinity.** Workers pin deterministic trace lanes (one
+//!   block reserved per pool via [`trace::reserve_lanes`]) and open
+//!   per-chunk [`trace::Level::Chunk`] spans parented on the caller's
+//!   innermost span, so cross-thread work stays attributed to the run
+//!   that spawned it — the same contract the fault-trial lanes pioneered.
+//!
+//! With one thread (or one item) the pool degenerates to the plain serial
+//! loop on the calling thread: no spawn, no chunk spans, no queue.
+//!
+//! [`ExecOptions`] is the one knob the public entry points share; see
+//! [`crate::simulator::Simulator`] for the session-style front end.
+
+use std::convert::Infallible;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use mnsim_obs::trace;
+
+/// Chunks handed out per worker on average; >1 lets the queue rebalance
+/// around slow items, while keeping per-chunk overhead negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Execution options shared by every public entry point
+/// ([`crate::simulate::simulate_with`],
+/// [`crate::fault_sim::simulate_with_faults_with`],
+/// [`crate::dse::explore_with`],
+/// [`crate::validate::validate_against_circuit_with`], and the
+/// [`crate::simulator::Simulator`] facade).
+///
+/// One struct replaces the historical per-subsystem knobs
+/// (`FaultConfig::threads`, the `explore_parallel` thread argument, and
+/// the `--metrics` / `--trace` CLI plumbing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExecOptions {
+    /// Worker threads: `0` uses the machine's available parallelism, `1`
+    /// forces the serial path. Results are bit-identical either way.
+    pub threads: usize,
+    /// Collect an observability snapshot and attach it to the report
+    /// (honored by [`crate::simulator::Simulator`], which owns the
+    /// exclusive metrics session).
+    pub metrics: bool,
+    /// Record a hierarchical trace and attach its summary to the report
+    /// (honored by [`crate::simulator::Simulator`], which owns the
+    /// exclusive trace session).
+    pub trace: bool,
+}
+
+impl Default for ExecOptions {
+    /// Auto thread count, no metrics, no trace.
+    fn default() -> Self {
+        ExecOptions {
+            threads: 0,
+            metrics: false,
+            trace: false,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Single-threaded execution, no metrics, no trace — the exact
+    /// behavior of the historical serial entry points.
+    pub fn serial() -> Self {
+        ExecOptions {
+            threads: 1,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// A fixed worker-thread count (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// The concrete worker count: `threads`, with `0` resolved to the
+    /// machine's available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        resolve_threads(self.threads)
+    }
+}
+
+/// Resolves the `0 = auto` convention against the machine.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Runs `f(index)` for every index in `0..n` and returns the results in
+/// index order, using up to `threads` workers (`0` = auto).
+///
+/// This is the engine primitive: a scoped worker pool pulling chunks off
+/// an atomic cursor, collecting `(index, result)` pairs, and reducing in
+/// index order. With `threads <= 1` or `n <= 1` it is exactly the serial
+/// `(0..n).map(f).collect()`.
+///
+/// # Errors
+///
+/// Returns the error of the **earliest** failing index, matching what a
+/// serial loop would report. The parallel path evaluates every index even
+/// after a failure; the serial path stops at the first error (the
+/// returned error is identical either way).
+pub fn try_map_n<R, E, F>(n: usize, threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let parent = trace::current_span();
+    let lane_base = trace::reserve_lanes(threads as u64);
+    let chunk = n.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Result<R, E>)>> = Mutex::new(Vec::with_capacity(n));
+
+    let f_ref = &f;
+    let cursor_ref = &cursor;
+    let collected_ref = &collected;
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            scope.spawn(move || {
+                trace::pin_lane(lane_base + worker as u64);
+                let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
+                loop {
+                    let start = cursor_ref.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    let _chunk_span = trace::span_under(
+                        "exec.chunk",
+                        trace::Level::Chunk,
+                        (start / chunk) as i64,
+                        parent,
+                    );
+                    for index in start..end {
+                        local.push((index, f_ref(index)));
+                    }
+                }
+                collected_ref
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut collected = collected
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    collected.sort_by_key(|(index, _)| *index);
+    // A sorted fold: the first Err encountered belongs to the earliest
+    // failing index, exactly as the serial traversal reports it.
+    collected.into_iter().map(|(_, result)| result).collect()
+}
+
+/// Infallible [`try_map_n`]: runs `f(index)` for `0..n` and returns the
+/// results in index order.
+pub fn map_n<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    match try_map_n::<R, Infallible, _>(n, threads, |index| Ok(f(index))) {
+        Ok(results) => results,
+        Err(never) => match never {},
+    }
+}
+
+/// Runs `f(index, &items[index])` over a slice and returns the results in
+/// item order. See [`try_map_n`] for the determinism contract.
+///
+/// # Errors
+///
+/// Returns the error of the earliest failing item.
+pub fn try_map_slice<T, R, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    try_map_n(items.len(), threads, |index| f(index, &items[index]))
+}
+
+/// Infallible [`try_map_slice`].
+pub fn map_slice<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_n(items.len(), threads, |index| f(index, &items[index]))
+}
+
+/// Splits `0..n` into at most `shards` contiguous, near-equal,
+/// **deterministic** ranges (empty ranges are never produced).
+///
+/// The chunk queue of [`try_map_n`] assigns items to workers dynamically,
+/// which is fine for pure per-item work but wrong for stateful sweeps: a
+/// warm-started CG chain must see a *reproducible* neighbor sequence.
+/// Shard boundaries from this function depend only on `(n, shards)`, so a
+/// sharded stateful sweep is deterministic for a fixed shard count.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, n.max(1));
+    let base = n / shards;
+    let extra = n % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for shard in 0..shards {
+        let len = base + usize::from(shard < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_builders() {
+        let d = ExecOptions::default();
+        assert_eq!(d.threads, 0);
+        assert!(!d.metrics && !d.trace);
+        assert_eq!(ExecOptions::serial().threads, 1);
+        assert_eq!(ExecOptions::with_threads(7).threads, 7);
+        assert!(ExecOptions::serial().resolved_threads() == 1);
+        assert!(ExecOptions::default().resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn map_n_is_in_order_for_every_thread_count() {
+        let expected: Vec<usize> = (0..103).map(|i| i * i).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            assert_eq!(map_n(103, threads, |i| i * i), expected, "threads={threads}");
+        }
+        assert_eq!(map_n(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_n(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn map_slice_passes_items_and_indices() {
+        let items = ["a", "bb", "ccc", "dddd", "eeeee"];
+        let out = map_slice(&items, 3, |i, s| (i, s.len()));
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn earliest_error_wins_for_every_thread_count() {
+        // Items 5 and 11 fail; every thread count must report item 5.
+        for threads in [1, 2, 7, 64] {
+            let err = try_map_n::<usize, String, _>(16, threads, |i| {
+                if i == 5 || i == 11 {
+                    Err(format!("item {i} failed"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "item 5 failed", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_evaluates_every_item_despite_errors() {
+        use std::sync::atomic::AtomicUsize;
+        let evaluated = AtomicUsize::new(0);
+        let result = try_map_n::<(), &str, _>(40, 4, |i| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                Err("first item fails")
+            } else {
+                Ok(())
+            }
+        });
+        assert!(result.is_err());
+        assert_eq!(evaluated.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for shards in [1usize, 2, 3, 7, 64] {
+                let ranges = shard_ranges(n, shards);
+                let covered: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} shards={shards}");
+                assert!(ranges.iter().all(|r| !r.is_empty()), "n={n} shards={shards}");
+                // Near-equal: lengths differ by at most one.
+                if let (Some(max), Some(min)) = (
+                    ranges.iter().map(Range::len).max(),
+                    ranges.iter().map(Range::len).min(),
+                ) {
+                    assert!(max - min <= 1, "n={n} shards={shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_float_reductions() {
+        // The canonical-order reduction makes even non-associative float
+        // folds bit-identical across thread counts.
+        let serial: f64 = map_n(1000, 1, |i| (i as f64).sqrt() * 0.1)
+            .iter()
+            .sum();
+        for threads in [2, 7, 64] {
+            let parallel: f64 = map_n(1000, threads, |i| (i as f64).sqrt() * 0.1)
+                .iter()
+                .sum();
+            assert_eq!(serial.to_bits(), parallel.to_bits(), "threads={threads}");
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Fault-injection Monte-Carlo over the simulation pipeline.
 //!
-//! [`simulate_with_faults`] extends the behavior-level flow of
+//! [`simulate_with_faults_with`] extends the behavior-level flow of
 //! [`simulate`](crate::simulate::simulate) with hard-defect modeling: it
 //! draws seeded [`FaultMap`]s, applies MNSIM's graceful-degradation story
 //! (spare-row remapping, bank retirement past a defect threshold), pushes
@@ -13,8 +13,6 @@
 //! Everything is deterministic: the same `(config, fault_config)` pair
 //! produces a bit-identical [`FaultSummary`], so regression baselines and
 //! replayed defect maps stay meaningful.
-
-use std::sync::Mutex;
 
 use mnsim_circuit::batch::{BatchOptions, PreparedSystem, Rhs};
 use mnsim_circuit::crossbar::CrossbarSpec;
@@ -32,7 +30,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::Config;
 use crate::error::CoreError;
-use crate::simulate::{simulate, Report};
+use crate::exec::{self, ExecOptions};
+use crate::simulate::{simulate_with, Report};
 
 static FAULT_CAMPAIGNS: obs::Counter = obs::Counter::new("core.fault.campaigns");
 static FAULT_TRIALS: obs::Counter = obs::Counter::new("core.fault.trials");
@@ -65,6 +64,11 @@ pub struct FaultConfig {
     /// available parallelism, `1` forces the serial path. Trials are
     /// seed-decorrelated and reduced in trial order, so the result is
     /// bit-identical for every thread count.
+    ///
+    /// Superseded by [`ExecOptions::threads`]: only the deprecated
+    /// [`simulate_with_faults`] entry point reads this field;
+    /// [`simulate_with_faults_with`] takes its thread count from the
+    /// shared [`ExecOptions`] instead.
     pub threads: usize,
     /// Input vectors read per surviving trial (≥ 1). The first read uses
     /// the campaign's primary activations through the recovery ladder;
@@ -307,79 +311,58 @@ fn run_trial(context: &TrialContext<'_>, trial: usize) -> Result<TrialOutcome, C
     })
 }
 
-/// Runs every trial, serially or chunked over `std::thread::scope` workers
-/// (the same pattern as [`crate::dse::explore_parallel`]), and returns the
-/// outcomes ordered by trial index. On failure the error of the earliest
-/// trial is returned regardless of thread interleaving.
-fn run_trials(
-    context: &TrialContext<'_>,
-    trials: usize,
-    threads: usize,
-) -> Result<Vec<TrialOutcome>, CoreError> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(trials.max(1));
-
-    if threads <= 1 {
-        return (0..trials).map(|trial| run_trial(context, trial)).collect();
-    }
-
-    let indices: Vec<usize> = (0..trials).collect();
-    let chunk_size = trials.div_ceil(threads).max(1);
-    let collected: Mutex<Vec<(usize, Result<TrialOutcome, CoreError>)>> =
-        Mutex::new(Vec::with_capacity(trials));
-    let collected_ref = &collected;
-    std::thread::scope(|scope| {
-        for chunk in indices.chunks(chunk_size) {
-            scope.spawn(move || {
-                let local: Vec<_> = chunk
-                    .iter()
-                    .map(|&trial| (trial, run_trial(context, trial)))
-                    .collect();
-                collected_ref
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .extend(local);
-            });
-        }
-    });
-
-    let mut collected = collected
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    collected.sort_by_key(|(trial, _)| *trial);
-    collected
-        .into_iter()
-        .map(|(_, outcome)| outcome)
-        .collect()
+/// Runs the full MNSIM simulation plus a fault-injection campaign.
+///
+/// Deprecated shim over [`simulate_with_faults_with`], kept for source
+/// compatibility: the Monte-Carlo worker count comes from the legacy
+/// [`FaultConfig::threads`] field.
+///
+/// # Errors
+///
+/// See [`simulate_with_faults_with`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use simulate_with_faults_with with ExecOptions (FaultConfig::threads is superseded)"
+)]
+pub fn simulate_with_faults(
+    config: &Config,
+    fault_config: &FaultConfig,
+) -> Result<Report, CoreError> {
+    simulate_with_faults_with(
+        config,
+        fault_config,
+        &ExecOptions::with_threads(fault_config.threads),
+    )
 }
 
-/// Runs the full MNSIM simulation plus a fault-injection campaign.
+/// Runs the full MNSIM simulation plus a fault-injection campaign on the
+/// shared [`exec`] worker pool.
 ///
 /// The returned [`Report`] is the clean behavior-level result with
 /// [`Report::faults`] populated. Defective arrays *never* abort the run:
 /// unsolvable or degraded trials are absorbed into the yield and recovery
 /// statistics.
 ///
+/// Both the clean simulation and the Monte-Carlo trial loop use
+/// `options.threads` (the legacy [`FaultConfig::threads`] field is
+/// ignored here); trials are seed-decorrelated and reduced in trial
+/// order, so the summary is bit-identical for every thread count.
+///
 /// # Errors
 ///
 /// Returns configuration validation errors; circuit errors only escape if
 /// even the dense-LU fallback cannot solve a trial (a genuinely singular
 /// system, which the near-open defect modeling prevents).
-pub fn simulate_with_faults(
+pub fn simulate_with_faults_with(
     config: &Config,
     fault_config: &FaultConfig,
+    options: &ExecOptions,
 ) -> Result<Report, CoreError> {
     let _span = CAMPAIGN_SPAN.enter();
     let campaign_span = trace::span("fault.campaign", trace::Level::Run);
     FAULT_CAMPAIGNS.inc();
     fault_config.validate()?;
-    let mut report = simulate(config)?;
+    let mut report = simulate_with(config, options)?;
 
     let device = &config.device;
     let size = config.crossbar_size.clamp(1, REPRESENTATIVE_LIMIT);
@@ -461,7 +444,11 @@ pub fn simulate_with_faults(
         clean_extra_outputs: &clean_extra_outputs,
         trace_parent: campaign_span.id(),
     };
-    let outcomes = run_trials(&context, fault_config.trials, fault_config.threads)?;
+    // Every trial runs on the shared engine: work-stealing chunks, ordered
+    // collection, earliest-trial error semantics.
+    let outcomes = exec::try_map_n(fault_config.trials, options.threads, |trial| {
+        run_trial(&context, trial)
+    })?;
 
     // Reduce in trial order so sums are bit-identical to the serial loop.
     let mut retired_trials = 0usize;
@@ -529,6 +516,40 @@ mod tests {
 
     fn small_config() -> Config {
         Config::fully_connected_mlp(&[64, 32]).unwrap()
+    }
+
+    // Shadows the deprecated shim with the equivalent modern call, so the
+    // campaign tests below exercise the ExecOptions path.
+    fn simulate_with_faults(
+        config: &Config,
+        fault_config: &FaultConfig,
+    ) -> Result<Report, CoreError> {
+        simulate_with_faults_with(
+            config,
+            fault_config,
+            &ExecOptions::with_threads(fault_config.threads),
+        )
+    }
+
+    #[test]
+    fn campaign_is_bit_identical_for_every_thread_count() {
+        let config = small_config();
+        let fault_config = FaultConfig {
+            rates: FaultRates::stuck_at(0.05),
+            trials: 6,
+            ..FaultConfig::default()
+        };
+        let serial =
+            simulate_with_faults_with(&config, &fault_config, &ExecOptions::serial()).unwrap();
+        for threads in [0usize, 2, 7] {
+            let parallel = simulate_with_faults_with(
+                &config,
+                &fault_config,
+                &ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! * [`modules`] — reference circuit-module performance models (§V),
 //! * [`mapping`] — weight-matrix partitioning onto crossbars,
 //! * [`accuracy`] — the behavior-level computing-accuracy model (§VI),
-//! * [`simulate`] — the end-to-end simulation flow (§IV, Fig. 3),
+//! * [`mod@simulate`] — the end-to-end simulation flow (§IV, Fig. 3),
+//! * [`exec`] — the shared worker-pool execution engine
+//!   ([`ExecOptions`], deterministic parallel map/reduce),
+//! * [`simulator`] — the [`Simulator`] session facade over simulate,
+//!   fault campaigns, DSE and validation,
 //! * [`dse`] — design-space exploration by exhaustive traversal (§VII),
 //! * [`netlist_gen`] — SPICE netlist generation for circuit-level
 //!   verification,
@@ -50,6 +54,7 @@ pub mod config;
 pub mod custom;
 pub mod dse;
 pub mod error;
+pub mod exec;
 pub mod fault_sim;
 pub mod instruction;
 pub mod mapping;
@@ -59,12 +64,16 @@ pub mod netlist_gen;
 pub mod perf;
 pub mod report;
 pub mod simulate;
+pub mod simulator;
 pub mod training;
 pub mod validate;
 
 pub use circuit_forward::CircuitLayer;
 pub use config::{Config, NetworkType, Precision, SignedMapping, WeightPolarity};
-pub use error::CoreError;
+pub use error::{ConfigError, CoreError};
+pub use exec::ExecOptions;
+#[allow(deprecated)]
 pub use fault_sim::{simulate_with_faults, FaultConfig, FaultSummary};
 pub use perf::ModulePerf;
-pub use simulate::{simulate, Report};
+pub use simulate::{simulate, simulate_with, Report};
+pub use simulator::Simulator;

@@ -13,6 +13,13 @@
 //! * [`neuron`] — sigmoid / ReLU / integrate-and-fire neuron circuits,
 //! * [`pooling`] — pooling comparator tree and line buffers (Eq. 6),
 //! * [`interface`] — accelerator I/O interfaces.
+//!
+//! Every model is a pure function of its arguments (no globals, no
+//! interior mutability), so the parallel bank evaluation in
+//! [`crate::exec`]-driven pipelines calls them concurrently from worker
+//! threads without synchronization; higher levels keep results
+//! bit-identical by reducing the returned records in canonical order
+//! (see [`crate::perf::ModulePerf::chain_all`]).
 
 pub mod converters;
 pub mod crossbar;

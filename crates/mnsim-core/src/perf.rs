@@ -86,6 +86,29 @@ impl ModulePerf {
         }
     }
 
+    /// Canonical-order [`Self::chain`] over a sequence: modules on one
+    /// critical path, folded left to right.
+    ///
+    /// Aggregations that may be computed on the
+    /// [`crate::exec`] worker pool must reduce in a canonical order for
+    /// the result to be bit-identical at every thread count; this helper
+    /// (and its [`Self::merge_parallel_all`] sibling) pins that order to
+    /// the iteration order of the input.
+    pub fn chain_all<'a, I: IntoIterator<Item = &'a ModulePerf>>(perfs: I) -> ModulePerf {
+        perfs
+            .into_iter()
+            .fold(ModulePerf::ZERO, |acc, p| acc.chain(p))
+    }
+
+    /// Canonical-order [`Self::merge_parallel`] over a sequence: modules
+    /// side by side, folded left to right (see [`Self::chain_all`] for why
+    /// the order is part of the contract).
+    pub fn merge_parallel_all<'a, I: IntoIterator<Item = &'a ModulePerf>>(perfs: I) -> ModulePerf {
+        perfs
+            .into_iter()
+            .fold(ModulePerf::ZERO, |acc, p| acc.merge_parallel(p))
+    }
+
     /// Average power over one operation: `dynamic_energy / latency +
     /// leakage`. Returns just the leakage if the latency is zero.
     pub fn average_power(&self) -> Power {
@@ -162,6 +185,27 @@ mod tests {
         let manual = sample() + sample() + sample();
         assert_eq!(total, manual);
         assert!((total.latency.nanoseconds() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canonical_folds_match_pairwise_operators() {
+        let a = sample();
+        let mut b = sample();
+        b.latency = Time::from_nanoseconds(25.0);
+        let c = sample();
+        let seq = [a, b, c];
+        assert_eq!(
+            ModulePerf::chain_all(&seq),
+            a.chain(&b).chain(&c),
+            "chain_all folds left to right"
+        );
+        assert_eq!(
+            ModulePerf::merge_parallel_all(&seq),
+            ModulePerf::ZERO.merge_parallel(&a).merge_parallel(&b).merge_parallel(&c),
+            "merge_parallel_all folds left to right"
+        );
+        assert_eq!(ModulePerf::chain_all([]), ModulePerf::ZERO);
+        assert_eq!(ModulePerf::merge_parallel_all([]), ModulePerf::ZERO);
     }
 
     #[test]

@@ -183,7 +183,7 @@ pub fn area_breakdown(report: &Report) -> AreaBreakdown {
 /// The CSV header matching [`report_csv_row`].
 ///
 /// The four fault columns are empty for clean simulations and populated by
-/// [`crate::fault_sim::simulate_with_faults`].
+/// [`crate::fault_sim::simulate_with_faults_with`].
 pub const CSV_HEADER: &str = "network,crossbar_size,parallelism,interconnect_nm,cmos_nm,\
 area_mm2,energy_uj,sample_latency_us,pipeline_cycle_us,power_w,\
 worst_epsilon,output_max_error,output_avg_error,\
@@ -220,6 +220,75 @@ pub fn report_csv_row(report: &Report) -> String {
         report.output_avg_error_rate,
         fault_columns,
     )
+}
+
+/// Serializes a [`Report`]'s numerical summary as a canonical JSON
+/// object (hand-rolled — the workspace is dependency-free by design).
+///
+/// Exact decimal formatting via Rust's shortest-roundtrip `{}` float
+/// rendering: two reports produce byte-identical JSON **iff** their
+/// summary numbers are bit-identical, which is what the API-facade
+/// equivalence suite asserts across thread counts. The optional
+/// `metrics` / `trace` attachments carry wall-clock data and are
+/// deliberately excluded; `faults` is included because campaign
+/// statistics are deterministic.
+pub fn report_json(report: &Report) -> String {
+    let c = &report.config;
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"network\":\"{}\",\"crossbar_size\":{},\"parallelism\":{},\
+         \"interconnect_nm\":{},\"cmos_nm\":{},\"banks\":{}",
+        c.network.name.replace('"', "'"),
+        c.crossbar_size,
+        c.parallelism,
+        c.interconnect.nanometers(),
+        c.cmos.nanometers(),
+        report.accelerator.banks.len(),
+    );
+    let _ = write!(
+        out,
+        ",\"area_mm2\":{},\"energy_uj\":{},\"sample_latency_us\":{},\
+         \"pipeline_cycle_us\":{},\"power_w\":{},\"worst_epsilon\":{},\
+         \"output_max_error\":{},\"output_avg_error\":{}",
+        report.total_area.square_millimeters(),
+        report.energy_per_sample.microjoules(),
+        report.sample_latency.microseconds(),
+        report.pipeline_cycle.microseconds(),
+        report.power.watts(),
+        report.worst_crossbar_epsilon,
+        report.output_max_error_rate,
+        report.output_avg_error_rate,
+    );
+    let _ = write!(out, ",\"layer_epsilons\":[");
+    for (i, layer) in report.layer_accuracy.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", layer.crossbar_epsilon);
+    }
+    out.push(']');
+    match &report.faults {
+        Some(faults) => {
+            let _ = write!(
+                out,
+                ",\"faults\":{{\"trials\":{},\"yield\":{},\"retired\":{},\
+                 \"solves\":{},\"fallback_solves\":{},\"mean_deviation_levels\":{},\
+                 \"p95_deviation_levels\":{},\"mean_weight_damage_levels\":{}}}",
+                faults.trials,
+                faults.yield_fraction,
+                faults.retired_trials,
+                faults.solves,
+                faults.fallback_solves,
+                faults.mean_deviation_levels,
+                faults.p95_deviation_levels,
+                faults.mean_weight_damage_levels,
+            );
+        }
+        None => out.push_str(",\"faults\":null"),
+    }
+    out.push('}');
+    out
 }
 
 /// A whole DSE result as CSV (header + one row per feasible design).
@@ -308,19 +377,37 @@ mod tests {
 
     #[test]
     fn csv_fault_columns_populated_by_fault_sim() {
-        use crate::fault_sim::{simulate_with_faults, FaultConfig};
+        use crate::exec::ExecOptions;
+        use crate::fault_sim::{simulate_with_faults_with, FaultConfig};
         let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
         let fault_config = FaultConfig {
             trials: 2,
             ..FaultConfig::default()
         };
-        let report = simulate_with_faults(&config, &fault_config).unwrap();
+        let report =
+            simulate_with_faults_with(&config, &fault_config, &ExecOptions::default()).unwrap();
         let row = report_csv_row(&report);
         assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
         assert!(!row.ends_with(",,,"), "fault columns must be filled: {row}");
         let text = format_report(&report);
         assert!(text.contains("array yield"));
         assert!(text.contains("solver fallbacks"));
+    }
+
+    #[test]
+    fn report_json_is_canonical_and_distinguishes_values() {
+        let config = Config::fully_connected_mlp(&[128, 128]).unwrap();
+        let report = simulate(&config).unwrap();
+        let a = report_json(&report);
+        let b = report_json(&simulate(&config).unwrap());
+        assert_eq!(a, b, "deterministic runs must serialize identically");
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"faults\":null"));
+        assert!(a.contains("\"banks\":1"));
+
+        let mut other = config.clone();
+        other.crossbar_size = 64;
+        assert_ne!(a, report_json(&simulate(&other).unwrap()));
     }
 
     #[test]

@@ -7,9 +7,11 @@ use mnsim_obs::{trace, MetricsSnapshot, TraceSummary};
 use mnsim_tech::units::{Area, Energy, Power, Time};
 
 use crate::accuracy::{propagate, AccuracyModel, Case, LayerAccuracy};
-use crate::arch::accelerator::{evaluate_accelerator, AcceleratorModelResult};
+use crate::arch::accelerator::{evaluate_accelerator_with, AcceleratorModelResult};
+use crate::arch::bank::BankModelResult;
 use crate::config::Config;
 use crate::error::CoreError;
+use crate::exec::{self, ExecOptions};
 use crate::fault_sim::FaultSummary;
 
 static SIMULATE_RUNS: obs::Counter = obs::Counter::new("core.simulate.runs");
@@ -74,12 +76,35 @@ impl Report {
     }
 }
 
-/// Runs the full MNSIM simulation for `config`.
+/// Runs the full MNSIM simulation for `config` on the calling thread.
+///
+/// Equivalent to [`simulate_with`] with [`ExecOptions::serial`]; the
+/// threaded engine produces bit-identical reports, so callers that want
+/// the worker pool (or a [`Report`] with metrics/trace attached) should
+/// use [`simulate_with`] or the [`crate::simulator::Simulator`] facade.
 ///
 /// # Errors
 ///
 /// Returns configuration validation errors.
 pub fn simulate(config: &Config) -> Result<Report, CoreError> {
+    simulate_with(config, &ExecOptions::serial())
+}
+
+/// Runs the full MNSIM simulation for `config` on the shared [`exec`]
+/// worker pool.
+///
+/// The two per-bank stages — hierarchy evaluation and the ε accuracy
+/// model — spread independent banks over `options.threads` workers; the
+/// per-bank partial results are collected in canonical bank order before
+/// any reduction, so the returned [`Report`] is **bit-identical** to the
+/// serial run for every thread count. The `metrics` / `trace` flags are
+/// consumed by the [`crate::simulator::Simulator`] facade (which owns the
+/// exclusive sessions); this function only reads `options.threads`.
+///
+/// # Errors
+///
+/// Returns configuration validation errors.
+pub fn simulate_with(config: &Config, options: &ExecOptions) -> Result<Report, CoreError> {
     let _span = SIMULATE_SPAN.enter();
     let _trace_span = trace::span("simulate", trace::Level::Run);
     SIMULATE_RUNS.inc();
@@ -87,7 +112,7 @@ pub fn simulate(config: &Config) -> Result<Report, CoreError> {
     let accelerator = {
         let _stage = STAGE_ACCELERATOR.enter();
         let _tstage = trace::span("accelerator", trace::Level::Stage);
-        evaluate_accelerator(config)?
+        evaluate_accelerator_with(config, options)?
     };
 
     // ε per bank: the crossbar geometry actually used by its units.
@@ -95,20 +120,25 @@ pub fn simulate(config: &Config) -> Result<Report, CoreError> {
         let _stage = STAGE_ACCURACY.enter();
         let _tstage = trace::span("accuracy", trace::Level::Stage);
         let accuracy = AccuracyModel::from_config(config);
-        accelerator
-            .banks
-            .iter()
-            .map(|bank| {
-                accuracy.error_rate(
-                    bank.unit.rows_used,
-                    bank.unit.physical_cols,
-                    config.interconnect,
-                    &config.device,
-                    Case::Worst,
-                )
-            })
-            .collect()
+        let bank_epsilon = |bank: &BankModelResult| {
+            accuracy.error_rate(
+                bank.unit.rows_used,
+                bank.unit.physical_cols,
+                config.interconnect,
+                &config.device,
+                Case::Worst,
+            )
+        };
+        let threads = options
+            .resolved_threads()
+            .min(accelerator.banks.len().max(1));
+        if threads <= 1 {
+            accelerator.banks.iter().map(bank_epsilon).collect()
+        } else {
+            exec::map_slice(&accelerator.banks, threads, |_, bank| bank_epsilon(bank))
+        }
     };
+    // Canonical-order fold over the ordered ε list: identical to serial.
     let worst_crossbar_epsilon = epsilons.iter().cloned().fold(0.0, f64::max);
 
     let layer_accuracy = {
@@ -186,6 +216,20 @@ mod tests {
             report.energy_per_sample.joules(),
             report.accelerator.energy_per_sample.joules()
         );
+    }
+
+    #[test]
+    fn parallel_simulation_is_bit_identical() {
+        for config in [
+            Config::fully_connected_mlp(&[512, 256, 128]).unwrap(),
+            Config::vgg16_cnn(),
+        ] {
+            let serial = simulate(&config).unwrap();
+            for threads in [0usize, 2, 7, 64] {
+                let parallel = simulate_with(&config, &ExecOptions::with_threads(threads)).unwrap();
+                assert_eq!(serial, parallel, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! The unified `Simulator` session facade.
+//!
+//! Historically every capability had its own entry point and its own
+//! knobs: `simulate` (serial only), `simulate_with_faults` (threads on
+//! [`FaultConfig`]), `explore_parallel` (a bare thread argument), and the
+//! `--metrics` / `--trace` plumbing of the CLI front ends. [`Simulator`]
+//! replaces that with one builder: configure once, then [`Simulator::run`]
+//! a clean or faulty simulation, [`Simulator::explore`] a design space, or
+//! [`Simulator::validate`] against the circuit baseline — all on the same
+//! [`ExecOptions`] worker pool, with metrics and trace sessions owned by
+//! the facade.
+//!
+//! ```
+//! use mnsim_core::{Config, Simulator};
+//!
+//! # fn main() -> Result<(), mnsim_core::CoreError> {
+//! let report = Simulator::new(Config::fully_connected_mlp(&[256, 128])?)
+//!     .threads(2)
+//!     .metrics(true)
+//!     .run()?;
+//! assert!(report.metrics.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+use mnsim_obs as obs;
+use mnsim_obs::trace;
+
+use crate::config::Config;
+use crate::dse::{explore_with, Constraints, DesignSpace, DseResult};
+use crate::error::CoreError;
+use crate::exec::ExecOptions;
+use crate::fault_sim::{simulate_with_faults_with, FaultConfig};
+use crate::simulate::{simulate_with, Report};
+use crate::validate::{validate_against_circuit_with, ValidationRow};
+
+/// A configured simulation session: one [`Config`], one [`ExecOptions`],
+/// and (optionally) a fault campaign, shared by every capability.
+///
+/// The builder methods take and return `self`, so a session reads as one
+/// chain; the struct is `Clone`, so a tuned session can be reused across
+/// runs and sweeps.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: Config,
+    options: ExecOptions,
+    faults: Option<FaultConfig>,
+}
+
+impl Simulator {
+    /// A session over `config` with default execution options (auto
+    /// thread count, no metrics, no trace, no faults).
+    pub fn new(config: Config) -> Self {
+        Simulator {
+            config,
+            options: ExecOptions::default(),
+            faults: None,
+        }
+    }
+
+    /// A session parsed from the Table I `key = value` file format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ConfigParse`] (with a did-you-mean suggestion
+    /// for misspelled keys) or [`CoreError::Config`] listing every invalid
+    /// value.
+    pub fn from_text(text: &str) -> Result<Self, CoreError> {
+        Ok(Simulator::new(Config::from_text(text)?))
+    }
+
+    /// Sets the worker-thread count (`0` = auto, `1` = serial). Results
+    /// are bit-identical for every choice.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Collect an observability snapshot during [`Simulator::run`] and
+    /// attach it as [`Report::metrics`]. The facade owns the exclusive
+    /// [`obs::session`], so only one metrics-enabled run may execute at a
+    /// time per process.
+    #[must_use]
+    pub fn metrics(mut self, metrics: bool) -> Self {
+        self.options.metrics = metrics;
+        self
+    }
+
+    /// Record a hierarchical trace during [`Simulator::run`] and attach
+    /// its summary as [`Report::trace`]. The facade owns the exclusive
+    /// [`trace::session`], so only one trace-enabled run may execute at a
+    /// time per process.
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.options.trace = trace;
+        self
+    }
+
+    /// Replaces the whole [`ExecOptions`] in one call.
+    #[must_use]
+    pub fn options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attach a fault-injection campaign to [`Simulator::run`]; the
+    /// Monte-Carlo trial loop uses this session's thread count (the
+    /// legacy [`FaultConfig::threads`] field is ignored).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The session's execution options.
+    pub fn exec_options(&self) -> &ExecOptions {
+        &self.options
+    }
+
+    /// Runs the simulation (with the fault campaign, if one is attached)
+    /// and returns the [`Report`], with metrics and/or trace summaries
+    /// attached when the corresponding flags are set.
+    ///
+    /// Numerical report fields are bit-identical for every thread count;
+    /// only the optional `metrics` / `trace` attachments (timing and
+    /// counter data) vary run to run.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration validation errors, and fault-campaign errors
+    /// when a campaign is attached.
+    pub fn run(&self) -> Result<Report, CoreError> {
+        // Sessions open before the run so they observe all of it; metrics
+        // snapshot while live, trace consumed by `finish`.
+        let metrics_session = self.options.metrics.then(obs::session);
+        let trace_session = self.options.trace.then(trace::session);
+        let mut report = match &self.faults {
+            Some(fault_config) => {
+                simulate_with_faults_with(&self.config, fault_config, &self.options)?
+            }
+            None => simulate_with(&self.config, &self.options)?,
+        };
+        if let Some(session) = metrics_session {
+            report = report.with_metrics(session.snapshot());
+        }
+        if let Some(session) = trace_session {
+            report = report.with_trace(session.finish().summary());
+        }
+        Ok(report)
+    }
+
+    /// Explores `space` around this session's configuration on the
+    /// session's worker pool (see [`explore_with`]). Metrics/trace flags
+    /// apply to [`Simulator::run`] only — a sweep produces thousands of
+    /// reports, none of which owns the session-wide instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDesignSpace`] if no combination passes
+    /// the constraints, and propagates evaluation errors.
+    pub fn explore(
+        &self,
+        space: &DesignSpace,
+        constraints: &Constraints,
+    ) -> Result<DseResult, CoreError> {
+        explore_with(&self.config, space, constraints, &self.options)
+    }
+
+    /// Validates the behavior models against the circuit baseline on the
+    /// session's worker pool (see
+    /// [`validate_against_circuit_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit construction/solver failures.
+    pub fn validate(
+        &self,
+        matrices: usize,
+        inputs_per_matrix: usize,
+        seed: u64,
+    ) -> Result<Vec<ValidationRow>, CoreError> {
+        validate_against_circuit_with(
+            &self.config,
+            matrices,
+            inputs_per_matrix,
+            seed,
+            &self.options,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate;
+
+    #[test]
+    fn facade_matches_legacy_simulate() {
+        let config = Config::fully_connected_mlp(&[256, 128]).unwrap();
+        let legacy = simulate(&config).unwrap();
+        for threads in [1usize, 2, 7] {
+            let report = Simulator::new(config.clone()).threads(threads).run().unwrap();
+            assert_eq!(legacy, report, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn facade_runs_fault_campaigns() {
+        let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+        let fault_config = FaultConfig {
+            trials: 3,
+            ..FaultConfig::default()
+        };
+        let direct =
+            simulate_with_faults_with(&config, &fault_config, &ExecOptions::with_threads(2))
+                .unwrap();
+        let facade = Simulator::new(config)
+            .faults(fault_config)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(direct, facade);
+        assert!(facade.faults.is_some());
+    }
+
+    #[test]
+    fn metrics_and_trace_attach() {
+        let config = Config::fully_connected_mlp(&[128, 64]).unwrap();
+        let report = Simulator::new(config)
+            .threads(2)
+            .metrics(true)
+            .trace(true)
+            .run()
+            .unwrap();
+        let metrics = report.metrics.expect("metrics attached");
+        assert!(metrics.counter("core.simulate.runs") >= 1);
+        let trace = report.trace.expect("trace attached");
+        assert!(trace.events > 0);
+        assert!(trace.spans.contains_key("simulate"));
+    }
+
+    #[test]
+    fn builder_accessors_and_from_text() {
+        let sim = Simulator::from_text("Crossbar_Size = 64\n")
+            .unwrap()
+            .options(ExecOptions::serial());
+        assert_eq!(sim.config().crossbar_size, 64);
+        assert_eq!(sim.exec_options().threads, 1);
+        assert!(Simulator::from_text("Crosbar_Size = 64\n").is_err());
+    }
+}

@@ -1,6 +1,6 @@
 //! On-chip training cost model — the first item of the paper's future
 //! work ("we will further support the simulation for … on-chip training
-//! method [51]", after Prezioso et al., Nature 2015).
+//! method \[51\]", after Prezioso et al., Nature 2015).
 //!
 //! During on-chip training every SGD step is: a forward COMPUTE pass, a
 //! backward error-propagation pass (transposed matrix-vector

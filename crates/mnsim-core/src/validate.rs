@@ -27,6 +27,7 @@ use rand::SeedableRng;
 use crate::accuracy::{AccuracyModel, Case};
 use crate::config::Config;
 use crate::error::CoreError;
+use crate::exec::{self, ExecOptions};
 use crate::modules::crossbar::CrossbarModel;
 use crate::netlist_gen::{input_drive_voltages, map_weights};
 
@@ -63,52 +64,106 @@ pub fn validate_against_circuit(
     inputs_per_matrix: usize,
     seed: u64,
 ) -> Result<Vec<ValidationRow>, CoreError> {
+    validate_against_circuit_with(config, matrices, inputs_per_matrix, seed, &ExecOptions::serial())
+}
+
+/// The per-matrix circuit measurement of the power/accuracy validation:
+/// solved power and deviation sums over that matrix's input vectors.
+struct MatrixPartial {
+    power_sum: f64,
+    deviation_sum: f64,
+    samples: usize,
+}
+
+/// [`validate_against_circuit`] on the shared [`exec`] worker pool.
+///
+/// Each random weight matrix is an independent circuit study (its own
+/// prepared system and warm-started read sequence), so matrices spread
+/// over `options.threads` workers. All random draws happen up front on
+/// the calling thread in the historical order — the RNG stream, and
+/// therefore every sampled circuit, is untouched by the thread count —
+/// and per-matrix partial sums are reduced in matrix order, so the rows
+/// are bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Propagates circuit construction/solver failures.
+pub fn validate_against_circuit_with(
+    config: &Config,
+    matrices: usize,
+    inputs_per_matrix: usize,
+    seed: u64,
+    options: &ExecOptions,
+) -> Result<Vec<ValidationRow>, CoreError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let bank = &config.network.banks[0];
     let rows = bank.matrix_rows().min(config.crossbar_size);
     let cols = bank.matrix_cols().min(config.crossbar_size);
 
-    let mut circuit_power = 0.0;
-    let mut circuit_deviation = 0.0;
-    let mut samples = 0usize;
-
     let mut block_config = config.clone();
     // map_weights requires the block to fit one crossbar.
     block_config.crossbar_size = config.crossbar_size;
 
-    for _ in 0..matrices {
-        let weights = random_weight_matrix(cols, rows, &mut rng);
-        // The conductance map depends only on the weights, so map/build
-        // once per matrix and re-drive the sources per input vector
-        // through one prepared system (factorization cache + warm start).
-        let mapped = map_weights(&block_config, &weights, &vec![0.0; rows])?;
-        let built = mapped.positive.build()?;
-        let mut prepared =
-            PreparedSystem::build(built.circuit(), BatchOptions::default())?;
-        for _ in 0..inputs_per_matrix {
-            let inputs = random_input_vector(rows, &mut rng);
-            let drive = input_drive_voltages(&block_config, inputs.data());
-            let rhs = built.input_rhs(&drive)?;
-            let solution = prepared.solve(built.circuit(), &rhs)?;
-            circuit_power += solution.dissipated_power(built.circuit()).watts();
+    // Serial pre-draw, interleaved exactly as the historical loop drew
+    // them (weights for matrix i, then its inputs, then matrix i+1 …).
+    let studies: Vec<(mnsim_nn::tensor::Tensor, Vec<mnsim_nn::tensor::Tensor>)> = (0..matrices)
+        .map(|_| {
+            let weights = random_weight_matrix(cols, rows, &mut rng);
+            let inputs = (0..inputs_per_matrix)
+                .map(|_| random_input_vector(rows, &mut rng))
+                .collect();
+            (weights, inputs)
+        })
+        .collect();
 
-            // Output deviation against the ideal (wire-free, linear) Eq.-2
-            // result, averaged over columns.
-            let ideal = mapped.positive.ideal_output_voltages_for(&drive);
-            let actual = built.output_voltages(&solution);
-            let mut dev = 0.0;
-            let mut counted = 0usize;
-            for (i, a) in ideal.iter().zip(&actual) {
-                if i.volts() > 1e-9 {
-                    dev += ((i.volts() - a.volts()) / i.volts()).abs();
-                    counted += 1;
+    let partials: Vec<MatrixPartial> =
+        exec::try_map_slice(&studies, options.threads, |_, (weights, input_vectors)| {
+            // The conductance map depends only on the weights, so map/build
+            // once per matrix and re-drive the sources per input vector
+            // through one prepared system (factorization cache + warm start).
+            let mapped = map_weights(&block_config, weights, &vec![0.0; rows])?;
+            let built = mapped.positive.build()?;
+            let mut prepared = PreparedSystem::build(built.circuit(), BatchOptions::default())?;
+            let mut partial = MatrixPartial {
+                power_sum: 0.0,
+                deviation_sum: 0.0,
+                samples: 0,
+            };
+            for inputs in input_vectors {
+                let drive = input_drive_voltages(&block_config, inputs.data());
+                let rhs = built.input_rhs(&drive)?;
+                let solution = prepared.solve(built.circuit(), &rhs)?;
+                partial.power_sum += solution.dissipated_power(built.circuit()).watts();
+
+                // Output deviation against the ideal (wire-free, linear)
+                // Eq.-2 result, averaged over columns.
+                let ideal = mapped.positive.ideal_output_voltages_for(&drive);
+                let actual = built.output_voltages(&solution);
+                let mut dev = 0.0;
+                let mut counted = 0usize;
+                for (i, a) in ideal.iter().zip(&actual) {
+                    if i.volts() > 1e-9 {
+                        dev += ((i.volts() - a.volts()) / i.volts()).abs();
+                        counted += 1;
+                    }
                 }
+                if counted > 0 {
+                    partial.deviation_sum += dev / counted as f64;
+                }
+                partial.samples += 1;
             }
-            if counted > 0 {
-                circuit_deviation += dev / counted as f64;
-            }
-            samples += 1;
-        }
+            Ok::<_, CoreError>(partial)
+        })?;
+
+    // Matrix-order fold of the partials: the grouping is fixed by the
+    // matrix boundaries, not the thread count.
+    let mut circuit_power = 0.0;
+    let mut circuit_deviation = 0.0;
+    let mut samples = 0usize;
+    for partial in &partials {
+        circuit_power += partial.power_sum;
+        circuit_deviation += partial.deviation_sum;
+        samples += partial.samples;
     }
     let circuit_power = circuit_power / samples as f64;
     let circuit_deviation = circuit_deviation / samples as f64;
@@ -354,6 +409,25 @@ mod tests {
             acc.mnsim,
             acc.circuit
         );
+    }
+
+    #[test]
+    fn parallel_validation_is_bit_identical() {
+        let mut config = Config::fully_connected_mlp(&[32, 32]).unwrap();
+        config.crossbar_size = 32;
+        let serial =
+            validate_against_circuit_with(&config, 3, 2, 7, &ExecOptions::serial()).unwrap();
+        for threads in [0usize, 2, 5] {
+            let parallel = validate_against_circuit_with(
+                &config,
+                3,
+                2,
+                7,
+                &ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]

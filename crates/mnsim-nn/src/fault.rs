@@ -1,7 +1,7 @@
 //! Behavior-level mirror of crossbar hard defects.
 //!
 //! The circuit path (`mnsim-circuit`) injects a
-//! [`FaultMap`](mnsim_tech::fault::FaultMap) as netlist edits: pinned cell
+//! [`FaultMap`] as netlist edits: pinned cell
 //! resistances and near-open wire segments. This module applies the *same*
 //! map to a behavioral weight matrix, so that the fast accuracy-model path
 //! and the slow circuit path both see the same silicon:

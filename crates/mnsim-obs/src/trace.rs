@@ -16,7 +16,7 @@
 //!   never allocates, and never touches a lock.
 //! * **Lock-light when on.** Each thread buffers events in a
 //!   thread-local `Vec` and only takes the global sink mutex once per
-//!   [`FLUSH_THRESHOLD`] events (and at thread exit), so tracing a
+//!   `FLUSH_THRESHOLD` events (and at thread exit), so tracing a
 //!   fault-sim worker pool never serializes the workers on a shared lock.
 //! * **Bounded.** The sink is capped ([`DEFAULT_CAPACITY`] events);
 //!   overflow drops the newest events and counts them, so a runaway sweep
@@ -402,6 +402,41 @@ pub fn current_span() -> u64 {
         return 0;
     }
     with_local(|local| local.stack.last().copied().unwrap_or(0))
+}
+
+// ---------------------------------------------------------------------------
+// Lane allocation
+// ---------------------------------------------------------------------------
+
+/// Reserves `count` consecutive lanes and returns the first one.
+///
+/// By default every thread is lazily assigned the next free lane the
+/// first time it records an event, so lane numbers depend on which worker
+/// happens to touch the trace first. A worker pool that wants *stable*
+/// lane numbering (worker `w` always renders on the same lane) reserves a
+/// block up front on the spawning thread and hands `base + w` to each
+/// worker via [`pin_lane`].
+///
+/// Returns 0 without reserving anything while tracing is disabled.
+pub fn reserve_lanes(count: u64) -> u64 {
+    if !enabled() || count == 0 {
+        return 0;
+    }
+    NEXT_LANE.fetch_add(count, Ordering::Relaxed)
+}
+
+/// Pins the calling thread to `lane` for the rest of the current session.
+///
+/// Use with a block from [`reserve_lanes`]: the spawning thread reserves
+/// one lane per worker, and each worker pins its own before recording
+/// anything. Pinning after the thread has already recorded events moves
+/// only the *subsequent* events; a new [`session`] clears the pin (lanes
+/// are session-scoped). No-op while tracing is disabled.
+pub fn pin_lane(lane: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|local| local.lane = lane);
 }
 
 fn push_sample(kind: EventKind, name: &'static str, level: Level, value: f64, value2: f64) {
@@ -1067,6 +1102,39 @@ mod tests {
             assert_eq!(trial.parent, parent_id);
             assert_ne!(trial.lane, 0); // workers get their own lanes
         }
+    }
+
+    #[test]
+    fn reserved_lanes_pin_workers_deterministically() {
+        let session = session();
+        let base = reserve_lanes(3);
+        std::thread::scope(|scope| {
+            for w in 0..3i64 {
+                scope.spawn(move || {
+                    pin_lane(base + w as u64);
+                    let _chunk = span_at("chunk", Level::Chunk, w);
+                });
+            }
+        });
+        let trace = session.finish();
+        for w in 0..3i64 {
+            let begin = trace
+                .events
+                .iter()
+                .find(|e| e.kind == EventKind::Begin && e.name == "chunk" && e.index == w)
+                .expect("chunk span recorded");
+            // Worker w always renders on lane base + w, regardless of which
+            // thread touched the trace first.
+            assert_eq!(begin.lane, base + w as u64, "worker {w}");
+        }
+
+        // Outside a session both calls degrade to no-ops.
+        let _lock = TRACE_SESSION_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        TRACE_ENABLED.store(false, Ordering::Relaxed);
+        assert_eq!(reserve_lanes(4), 0);
+        pin_lane(17);
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! cargo run --release --example design_space_exploration [-- --metrics <path>] [--trace <path>]
 //! ```
 
-use mnsim::core::config::{Config, Precision};
-use mnsim::core::dse::{explore_parallel, Constraints, DesignSpace, Objective};
+use mnsim::core::config::Precision;
+use mnsim::core::dse::Objective;
 use mnsim::nn::models;
 use mnsim::obs;
+use mnsim::prelude::*;
 use mnsim::tech::cmos::CmosNode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,10 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let space = DesignSpace::paper_large_bank();
     let constraints = Constraints::crossbar_error(0.25); // ε ≤ 25 %
-    let threads = std::thread::available_parallelism()?.get();
+
+    // One session drives the whole sweep; `threads(0)` = all cores.
+    let simulator = Simulator::new(base).threads(0);
 
     let start = std::time::Instant::now();
-    let result = explore_parallel(&base, &space, &constraints, threads)?;
+    let result = simulator.explore(&space, &constraints)?;
     println!(
         "evaluated {} designs in {:.2?} ({} feasible under the 25 % error bound)\n",
         result.evaluated,

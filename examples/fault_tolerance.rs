@@ -10,11 +10,9 @@
 //! spare-row repair and bank retirement are applied, and the surviving
 //! arrays are re-solved at circuit level through the recovery ladder.
 
-use mnsim::core::config::Config;
-use mnsim::core::fault_sim::{simulate_with_faults, FaultConfig};
 use mnsim::core::report::{report_csv_row, CSV_HEADER};
 use mnsim::obs;
-use mnsim::tech::fault::FaultRates;
+use mnsim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (metrics_path, trace_path) = paths_from_args()?;
@@ -22,6 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace_session = trace_path.as_ref().map(|_| obs::trace::session());
 
     let config = Config::fully_connected_mlp(&[128, 128])?;
+    // One session, re-tuned per sweep point; trials fan out on all cores.
+    let simulator = Simulator::new(config).threads(0);
 
     println!("stuck-at rate sweep — {} trials per point\n", 8);
     println!(
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 0xDEFEC7,
             ..FaultConfig::default()
         };
-        let report = simulate_with_faults(&config, &fault_config)?;
+        let report = simulator.clone().faults(fault_config).run()?;
         let faults = report.faults.as_ref().expect("campaign ran");
         println!(
             "{:>10.3} {:>7.1}% {:>9.1}% {:>12.4} {:>12.4} {:>12.4}",

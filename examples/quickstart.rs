@@ -1,25 +1,27 @@
 //! Quickstart: configure an accelerator for a 3-layer fully-connected
-//! network, simulate it, and print the report.
+//! network, simulate it through the [`Simulator`] session API, and print
+//! the report.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use mnsim::core::config::Config;
 use mnsim::core::report::{format_bank_details, format_report};
-use mnsim::core::simulate::simulate;
+use mnsim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Table II network: two 128×128 fully-connected layers.
     let config = Config::fully_connected_mlp(&[128, 128, 128])?;
 
-    let report = simulate(&config)?;
+    // `threads(0)` uses every core; reports are bit-identical at any
+    // thread count, so parallelism is purely a wall-clock choice.
+    let report = Simulator::new(config).threads(0).run()?;
     println!("{}", format_report(&report));
     println!("per-bank details:");
     println!("{}", format_bank_details(&report));
 
-    // The same configuration can come from a Table-I style config file.
-    let from_file = Config::from_text(
+    // The same session can start from a Table-I style config file.
+    let report2 = Simulator::from_text(
         "\
         Network_Scale = 128x128, 128x128\n\
         Crossbar_Size = 128\n\
@@ -27,8 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Interconnect_Tech = 28nm\n\
         Memristor_Model = RRAM\n\
         Resistance_Range = [500 500k]\n",
-    )?;
-    let report2 = simulate(&from_file)?;
+    )?
+    .run()?;
     assert_eq!(
         report.total_area.square_meters(),
         report2.total_area.square_meters(),

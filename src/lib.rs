@@ -1,6 +1,6 @@
 //! # MNSIM-RS — simulation platform for memristor-based neuromorphic systems
 //!
-//! This is the facade crate of the MNSIM reproduction. It re-exports the four
+//! This is the facade crate of the MNSIM reproduction. It re-exports the
 //! member crates under stable names:
 //!
 //! * [`obs`] — observability layer: counters, histograms, timer spans
@@ -8,7 +8,11 @@
 //! * [`tech`] — technology & device models ([`mnsim_tech`]),
 //! * [`circuit`] — SPICE-class DC circuit simulator ([`mnsim_circuit`]),
 //! * [`nn`] — neural-network substrate ([`mnsim_nn`]),
-//! * [`core`] — the MNSIM platform itself ([`mnsim_core`]).
+//! * [`core`] — the MNSIM platform itself ([`mnsim_core`]),
+//!
+//! and gathers the session-level API in [`prelude`]: build a
+//! [`Simulator`], set its [`ExecOptions`] once, and run, explore, or
+//! validate on the shared worker pool.
 //!
 //! See the repository `README.md` for a tour and `examples/quickstart.rs`
 //! for a complete simulation run.
@@ -16,12 +20,12 @@
 //! # Examples
 //!
 //! ```
-//! use mnsim::core::config::Config;
-//! use mnsim::core::simulate::simulate;
+//! use mnsim::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let config = Config::fully_connected_mlp(&[128, 128, 128])?;
-//! let report = simulate(&config)?;
+//! let report = Simulator::new(Config::fully_connected_mlp(&[128, 128, 128])?)
+//!     .threads(2)
+//!     .run()?;
 //! assert!(report.total_area.square_millimeters() > 0.0);
 //! # Ok(())
 //! # }
@@ -32,3 +36,23 @@ pub use mnsim_core as core;
 pub use mnsim_obs as obs;
 pub use mnsim_nn as nn;
 pub use mnsim_tech as tech;
+
+pub use mnsim_core::{ExecOptions, Simulator};
+
+/// The session-level API in one import: `use mnsim::prelude::*;`.
+///
+/// Brings in the [`Simulator`] facade, its configuration and execution
+/// types, and the result types its methods return — everything a typical
+/// simulation, fault-campaign, design-space-exploration, or validation
+/// program needs.
+pub mod prelude {
+    pub use mnsim_core::config::Config;
+    pub use mnsim_core::dse::{Constraints, DesignSpace, DseResult, Objective};
+    pub use mnsim_core::error::{ConfigError, CoreError};
+    pub use mnsim_core::exec::ExecOptions;
+    pub use mnsim_core::fault_sim::{FaultConfig, FaultSummary};
+    pub use mnsim_core::simulate::Report;
+    pub use mnsim_core::simulator::Simulator;
+    pub use mnsim_core::validate::ValidationRow;
+    pub use mnsim_tech::fault::FaultRates;
+}

@@ -1,0 +1,130 @@
+//! Facade-equivalence suite for the unified `Simulator` session API.
+//!
+//! The contract under test: every capability reached through
+//! [`Simulator`] produces results identical to the legacy entry points —
+//! and identical across every [`ExecOptions`] permutation. "Identical"
+//! is checked at the strongest level available: full-`Report` equality
+//! plus byte-for-byte equality of the canonical
+//! [`report_json`](mnsim::core::report::report_json) rendering (which
+//! round-trips every float through shortest-representation formatting,
+//! so two JSONs are byte-equal iff the reports are bit-identical;
+//! metrics/trace timing attachments are deliberately outside it).
+
+use mnsim::core::dse::explore;
+use mnsim::core::report::report_json;
+use mnsim::core::simulate::simulate;
+use mnsim::core::validate::validate_against_circuit;
+use mnsim::prelude::*;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+fn reference_config() -> Config {
+    Config::fully_connected_mlp(&[256, 128, 64]).unwrap()
+}
+
+#[test]
+fn simulator_report_json_is_byte_identical_to_legacy_simulate() {
+    let config = reference_config();
+    let legacy = simulate(&config).unwrap();
+    let legacy_json = report_json(&legacy);
+    for threads in THREAD_COUNTS {
+        let report = Simulator::new(config.clone()).threads(threads).run().unwrap();
+        assert_eq!(legacy, report, "threads={threads}");
+        assert_eq!(legacy_json, report_json(&report), "threads={threads}");
+    }
+}
+
+#[test]
+fn simulator_fault_campaign_matches_legacy_at_every_thread_count() {
+    let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+    let fault_config = FaultConfig {
+        rates: FaultRates::stuck_at(0.03),
+        trials: 6,
+        ..FaultConfig::default()
+    };
+    #[allow(deprecated)]
+    let legacy =
+        mnsim::core::fault_sim::simulate_with_faults(&config, &fault_config).unwrap();
+    let legacy_json = report_json(&legacy);
+    for threads in THREAD_COUNTS {
+        let report = Simulator::new(config.clone())
+            .faults(fault_config.clone())
+            .threads(threads)
+            .run()
+            .unwrap();
+        assert_eq!(legacy, report, "threads={threads}");
+        assert_eq!(legacy_json, report_json(&report), "threads={threads}");
+    }
+}
+
+#[test]
+fn simulator_explore_matches_legacy_serial_explore() {
+    let config = Config::fully_connected_mlp(&[512, 256]).unwrap();
+    let space = DesignSpace {
+        crossbar_sizes: vec![32, 64, 128],
+        parallelism_degrees: vec![1, 16],
+        interconnects: vec![
+            mnsim::tech::interconnect::InterconnectNode::N28,
+            mnsim::tech::interconnect::InterconnectNode::N45,
+        ],
+    };
+    let constraints = Constraints::crossbar_error(0.3);
+    let legacy = explore(&config, &space, &constraints).unwrap();
+    for threads in THREAD_COUNTS {
+        let result = Simulator::new(config.clone())
+            .threads(threads)
+            .explore(&space, &constraints)
+            .unwrap();
+        // Full struct equality, traversal order included: the engine
+        // reduces in canonical order at every thread count.
+        assert_eq!(legacy, result, "threads={threads}");
+    }
+}
+
+#[test]
+fn simulator_validate_matches_legacy_serial_validate() {
+    let mut config = reference_config();
+    config.crossbar_size = 16; // keep the circuit solves small
+    let legacy = validate_against_circuit(&config, 2, 2, 0xFACADE).unwrap();
+    for threads in THREAD_COUNTS {
+        let rows = Simulator::new(config.clone())
+            .threads(threads)
+            .validate(2, 2, 0xFACADE)
+            .unwrap();
+        assert_eq!(legacy, rows, "threads={threads}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: no [`ExecOptions`] permutation — thread count, metrics
+    /// on/off, trace on/off, set via individual builders or wholesale —
+    /// changes a single numerical bit of the report.
+    #[test]
+    fn exec_options_permutations_never_change_results(
+        threads in 0usize..9,
+        metrics_bit in 0u8..2,
+        trace_bit in 0u8..2,
+        wholesale_bit in 0u8..2,
+    ) {
+        let (metrics, trace, wholesale) =
+            (metrics_bit == 1, trace_bit == 1, wholesale_bit == 1);
+        let config = Config::fully_connected_mlp(&[128, 64]).unwrap();
+        let baseline_json = report_json(&simulate(&config).unwrap());
+
+        let simulator = if wholesale {
+            Simulator::new(config).options(ExecOptions { threads, metrics, trace })
+        } else {
+            Simulator::new(config).threads(threads).metrics(metrics).trace(trace)
+        };
+        let report = simulator.run().unwrap();
+
+        // Numerical payload identical; instrumentation attaches exactly
+        // when requested.
+        prop_assert_eq!(report_json(&report), baseline_json);
+        prop_assert_eq!(report.metrics.is_some(), metrics);
+        prop_assert_eq!(report.trace.is_some(), trace);
+    }
+}

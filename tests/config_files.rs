@@ -82,10 +82,49 @@ fn malformed_files_are_rejected_with_line_numbers() {
 fn invalid_semantics_are_rejected_after_parsing() {
     // Parses fine, fails validation: parallelism above crossbar size.
     let text = "Crossbar_Size = 32\nParallelism_Degree = 64\n";
-    assert!(matches!(
-        Config::from_text(text),
-        Err(CoreError::InvalidConfig { .. })
-    ));
+    match Config::from_text(text) {
+        Err(CoreError::Config { errors }) => {
+            assert_eq!(errors.len(), 1);
+            assert_eq!(errors[0].field_path, "Parallelism_Degree");
+        }
+        other => panic!("expected validation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_invalid_field_is_reported_at_once() {
+    // Three independent violations in one file: the error must name all of
+    // them, not stop at the first.
+    let text = "Crossbar_Size = 48\nParallelism_Degree = 64\nPooling_Size = 0\n";
+    match Config::from_text(text) {
+        Err(CoreError::Config { errors }) => {
+            let fields: Vec<&str> = errors.iter().map(|e| e.field_path.as_str()).collect();
+            assert!(fields.contains(&"Crossbar_Size"), "{fields:?}");
+            assert!(fields.contains(&"Parallelism_Degree"), "{fields:?}");
+            assert!(fields.contains(&"Pooling_Size"), "{fields:?}");
+            for error in &errors {
+                assert!(!error.reason.is_empty());
+                assert!(!error.allowed.is_empty());
+            }
+        }
+        other => panic!("expected validation errors, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_key_fixture_gets_line_and_suggestion() {
+    let text = include_str!("fixtures/typo_key.cfg");
+    match Config::from_text(text) {
+        Err(CoreError::ConfigParse { line, reason }) => {
+            assert_eq!(line, 4, "the misspelled key sits on line 4");
+            assert!(reason.contains("Crosbar_Size"), "{reason}");
+            assert!(
+                reason.contains("did you mean `Crossbar_Size`"),
+                "{reason}"
+            );
+        }
+        other => panic!("expected parse error with suggestion, got {other:?}"),
+    }
 }
 
 #[test]

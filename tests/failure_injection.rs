@@ -103,9 +103,16 @@ fn over_constrained_dse_is_typed() {
 fn broken_device_is_rejected_before_simulation() {
     let mut config = Config::fully_connected_mlp(&[64, 64]).unwrap();
     config.device.r_min = Resistance::from_ohms(-5.0);
+    // Device-model problems surface through the unified validation pass,
+    // typed against the Table-I field that selects the device.
     match simulate(&config) {
-        Err(CoreError::Tech(_)) => {}
-        other => panic!("expected a tech-layer error, got {other:?}"),
+        Err(CoreError::Config { errors }) => {
+            assert!(
+                errors.iter().any(|e| e.field_path == "Memristor_Model"),
+                "{errors:?}"
+            );
+        }
+        other => panic!("expected a validation error, got {other:?}"),
     }
 }
 
@@ -250,7 +257,8 @@ fn fault_maps_are_deterministic_and_serializable() {
 
 mod fault_properties {
     use mnsim::core::config::Config;
-    use mnsim::core::fault_sim::{simulate_with_faults, FaultConfig};
+    use mnsim::core::exec::ExecOptions;
+    use mnsim::core::fault_sim::{simulate_with_faults_with, FaultConfig};
     use mnsim::tech::fault::FaultRates;
     use proptest::prelude::*;
 
@@ -279,7 +287,7 @@ mod fault_properties {
                 seed,
                 ..FaultConfig::default()
             };
-            match simulate_with_faults(&config, &fault_config) {
+            match simulate_with_faults_with(&config, &fault_config, &ExecOptions::serial()) {
                 Ok(report) => {
                     let faults = report.faults.expect("campaign attaches a summary");
                     prop_assert!(faults.yield_fraction >= 0.0 && faults.yield_fraction <= 1.0);

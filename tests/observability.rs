@@ -10,8 +10,9 @@ use mnsim::circuit::cg::CgOptions;
 use mnsim::circuit::solve::{Method, SolveOptions};
 use mnsim::circuit::{solve_robust, Circuit, RecoveryStage, RobustOptions};
 use mnsim::core::config::Config;
-use mnsim::core::dse::{explore, explore_parallel, Constraints, DesignSpace};
-use mnsim::core::fault_sim::{simulate_with_faults, FaultConfig};
+use mnsim::core::dse::{explore, explore_with, Constraints, DesignSpace};
+use mnsim::core::exec::ExecOptions;
+use mnsim::core::fault_sim::{simulate_with_faults_with, FaultConfig};
 use mnsim::core::simulate::simulate;
 use mnsim::obs;
 use mnsim::tech::fault::FaultRates;
@@ -27,7 +28,7 @@ fn clean_fault_campaign_records_no_fallbacks() {
         ..FaultConfig::default()
     };
     let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
-    simulate_with_faults(&config, &fault_config).unwrap();
+    simulate_with_faults_with(&config, &fault_config, &ExecOptions::serial()).unwrap();
 
     let snap = session.snapshot();
     assert_eq!(snap.counter("core.fault.campaigns"), 1);
@@ -158,7 +159,9 @@ fn parallel_dse_error_still_evaluates_every_point() {
     };
 
     let session = obs::session();
-    let err = explore_parallel(&base, &space, &Constraints::default(), 2).unwrap_err();
+    let err =
+        explore_with(&base, &space, &Constraints::default(), &ExecOptions::with_threads(2))
+            .unwrap_err();
     let snap = session.snapshot();
     drop(session);
 
@@ -184,7 +187,7 @@ fn snapshot_json_is_valid_and_complete() {
         trials: 2,
         ..FaultConfig::default()
     };
-    simulate_with_faults(&config, &fault_config).unwrap();
+    simulate_with_faults_with(&config, &fault_config, &ExecOptions::serial()).unwrap();
     let space = DesignSpace {
         crossbar_sizes: vec![32, 64],
         parallelism_degrees: vec![1],
@@ -224,10 +227,9 @@ fn session_opened_before_thread_pool_sees_all_worker_counts() {
     let fault_config = FaultConfig {
         rates: FaultRates::stuck_at(0.02),
         trials: 14,
-        threads: 7,
         ..FaultConfig::default()
     };
-    simulate_with_faults(&config, &fault_config).unwrap();
+    simulate_with_faults_with(&config, &fault_config, &ExecOptions::with_threads(7)).unwrap();
 
     let snap = session.snapshot();
     // All 14 trials ran on 7 pool workers; every increment must be

@@ -1,6 +1,13 @@
 //! Parallel-execution equivalence: the threaded traversals must be
 //! observationally identical to their serial counterparts — same feasible
 //! sets, bit-identical statistics, same errors — for any thread count.
+//!
+//! Deliberately written against the **deprecated** entry points
+//! (`explore_parallel`, `simulate_with_faults`): this file doubles as the
+//! compatibility suite proving the shims still compile and still produce
+//! the legacy behavior. The unified `Simulator` / `ExecOptions` surface
+//! has its own suite in `tests/api_facade.rs`.
+#![allow(deprecated)]
 
 use mnsim::core::config::Config;
 use mnsim::core::dse::{explore, explore_parallel, Constraints, DesignPoint, DesignSpace};
@@ -63,7 +70,7 @@ fn explore_parallel_propagates_the_serial_error() {
         interconnects: vec![InterconnectNode::N45],
     };
     let serial_err = explore(&base, &space, &Constraints::default()).unwrap_err();
-    assert!(matches!(serial_err, CoreError::InvalidConfig { .. }));
+    assert!(matches!(serial_err, CoreError::Config { .. }));
 
     for threads in THREAD_COUNTS {
         let err = explore_parallel(&base, &space, &Constraints::default(), threads).unwrap_err();

@@ -9,7 +9,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mnsim::core::config::Config;
-use mnsim::core::fault_sim::{simulate_with_faults, FaultConfig};
+use mnsim::core::exec::ExecOptions;
+use mnsim::core::fault_sim::{simulate_with_faults_with, FaultConfig};
 use mnsim::core::simulate::simulate;
 use mnsim::obs::trace::{self, EventKind};
 use mnsim::obs::validate_chrome_trace;
@@ -90,11 +91,11 @@ fn fault_campaign_trace_tree_is_well_formed_across_thread_counts() {
         let fault_config = FaultConfig {
             rates: FaultRates::stuck_at(0.02),
             trials: 8,
-            threads,
             ..FaultConfig::default()
         };
         let session = trace::session();
-        simulate_with_faults(&config, &fault_config).unwrap();
+        simulate_with_faults_with(&config, &fault_config, &ExecOptions::with_threads(threads))
+            .unwrap();
         let collected = session.finish();
         assert_eq!(collected.dropped, 0, "threads={threads}: events dropped");
 

@@ -59,7 +59,7 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Runs `routine` [`ITERATIONS`] times and prints the mean duration.
+    /// Runs `routine` `ITERATIONS` times and prints the mean duration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         if !self.enabled {
             return;
