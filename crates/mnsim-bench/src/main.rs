@@ -4,8 +4,23 @@
 //! repro <experiment> [--metrics <path>] [--trace <path>]
 //!   where experiment is one of:
 //!   table2 table3 table4 table5 table6 table7
-//!   fig5 fig6 fig7 fig8 fig9 jpeg all
+//!   fig5 fig6 fig7 fig8 fig9 jpeg variation faultmc all
 //! ```
+//!
+//! The `faultmc` experiment runs a configurable fault-injection
+//! Monte-Carlo campaign and accepts the campaign-hardening flags:
+//!
+//! ```text
+//! repro faultmc [--trials N] [--seed S] [--rate R] [--threads T]
+//!               [--checkpoint <path>] [--deadline-ms MS]
+//! ```
+//!
+//! With `--checkpoint` the campaign persists completed trials to `path`
+//! and resumes from it on the next invocation (bit-identical to an
+//! uninterrupted run). With `--deadline-ms` the campaign stops
+//! cooperatively at the deadline and exits with status **3** (checkpoint
+//! written first when a policy is set), distinguishing an interrupted
+//! campaign from a failed one (status 1).
 //!
 //! With `--metrics <path>` the run executes inside an observability session
 //! ([`mnsim_obs`]) and writes the final [`mnsim_obs::MetricsSnapshot`] as
@@ -20,30 +35,85 @@
 //! to stderr.
 
 use mnsim_bench::experiments;
+use mnsim_core::checkpoint::CheckpointPolicy;
+use mnsim_core::error::CoreError;
+use mnsim_core::fault_sim::FaultConfig;
+use mnsim_core::report::format_report;
+use mnsim_core::simulator::Simulator;
+use mnsim_core::Config;
 use mnsim_obs as obs;
 use mnsim_obs::trace;
+use mnsim_tech::fault::FaultRates;
 use mnsim_tech::interconnect::InterconnectNode;
+
+/// Flags of the `faultmc` experiment.
+#[derive(Debug, Clone)]
+struct FaultMcArgs {
+    trials: usize,
+    seed: u64,
+    rate: f64,
+    threads: usize,
+    checkpoint: Option<String>,
+    deadline_ms: Option<u64>,
+}
+
+impl Default for FaultMcArgs {
+    fn default() -> Self {
+        FaultMcArgs {
+            trials: 64,
+            seed: 42,
+            rate: 0.02,
+            threads: 0,
+            checkpoint: None,
+            deadline_ms: None,
+        }
+    }
+}
+
+fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_or_usage<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {value:?}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let mut experiment = None;
     let mut metrics_path = None;
     let mut trace_path = None;
+    let mut faultmc = FaultMcArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--metrics" => {
-                metrics_path = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--metrics requires a file path");
-                    eprintln!("{USAGE}");
-                    std::process::exit(2);
-                }));
+            "--metrics" => metrics_path = Some(flag_value(&mut args, "--metrics")),
+            "--trace" => trace_path = Some(flag_value(&mut args, "--trace")),
+            "--trials" => {
+                faultmc.trials = parse_or_usage(&flag_value(&mut args, "--trials"), "--trials");
             }
-            "--trace" => {
-                trace_path = Some(args.next().unwrap_or_else(|| {
-                    eprintln!("--trace requires a file path");
-                    eprintln!("{USAGE}");
-                    std::process::exit(2);
-                }));
+            "--seed" => {
+                faultmc.seed = parse_or_usage(&flag_value(&mut args, "--seed"), "--seed");
+            }
+            "--rate" => {
+                faultmc.rate = parse_or_usage(&flag_value(&mut args, "--rate"), "--rate");
+            }
+            "--threads" => {
+                faultmc.threads = parse_or_usage(&flag_value(&mut args, "--threads"), "--threads");
+            }
+            "--checkpoint" => faultmc.checkpoint = Some(flag_value(&mut args, "--checkpoint")),
+            "--deadline-ms" => {
+                faultmc.deadline_ms = Some(parse_or_usage(
+                    &flag_value(&mut args, "--deadline-ms"),
+                    "--deadline-ms",
+                ));
             }
             _ if experiment.is_none() => experiment = Some(arg),
             _ => {
@@ -59,9 +129,15 @@ fn main() {
 
     let session = metrics_path.as_ref().map(|_| obs::session());
     let trace_session = trace_path.as_ref().map(|_| trace::session());
-    if let Err(e) = dispatch(&experiment) {
+    if let Err(e) = dispatch(&experiment, &faultmc) {
+        let interrupted = matches!(
+            e.downcast_ref::<CoreError>(),
+            Some(CoreError::Cancelled { .. } | CoreError::DeadlineExceeded { .. })
+        );
         eprintln!("error while running `{experiment}`: {e}");
-        std::process::exit(1);
+        // Status 3: the campaign was cut short by its control plane (a
+        // checkpoint was written first when a policy is set), not broken.
+        std::process::exit(if interrupted { 3 } else { 1 });
     }
     if let (Some(path), Some(trace_session)) = (trace_path, trace_session) {
         let collected = trace_session.finish();
@@ -83,9 +159,31 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|all> [--metrics <path>] [--trace <path>]";
+const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|faultmc|all> [--metrics <path>] [--trace <path>]\n\
+       repro faultmc [--trials N] [--seed S] [--rate R] [--threads T] [--checkpoint <path>] [--deadline-ms MS]";
 
-fn dispatch(experiment: &str) -> Result<(), Box<dyn std::error::Error>> {
+fn run_faultmc(args: &FaultMcArgs) -> Result<String, Box<dyn std::error::Error>> {
+    let config = Config::fully_connected_mlp(&[128, 64])?;
+    let fault_config = FaultConfig {
+        rates: FaultRates::stuck_at(args.rate),
+        trials: args.trials,
+        seed: args.seed,
+        ..FaultConfig::default()
+    };
+    let mut session = Simulator::new(config)
+        .threads(args.threads)
+        .faults(fault_config);
+    if let Some(path) = &args.checkpoint {
+        session = session.checkpoint(CheckpointPolicy::new(path));
+    }
+    if let Some(millis) = args.deadline_ms {
+        session = session.deadline_ms(millis);
+    }
+    let report = session.run()?;
+    Ok(format_report(&report))
+}
+
+fn dispatch(experiment: &str, faultmc: &FaultMcArgs) -> Result<(), Box<dyn std::error::Error>> {
     match experiment {
         "table2" => print(experiments::table2::run(3, 5)?),
         "table3" => print(experiments::table3::run(&[16, 32, 64, 128, 256])?),
@@ -108,13 +206,14 @@ fn dispatch(experiment: &str) -> Result<(), Box<dyn std::error::Error>> {
         "fig9" => print(experiments::fig9::run()?),
         "jpeg" => print(experiments::jpeg::run()?),
         "variation" => print(experiments::variation::run(&[8, 16, 32], 0.2, 10)?),
+        "faultmc" => print(run_faultmc(faultmc)?),
         "all" => {
             for exp in [
                 "table2", "table3", "table4", "table5", "table6", "table7", "fig5", "fig6",
                 "fig7", "fig8", "fig9", "jpeg", "variation",
             ] {
                 println!("================================================================");
-                dispatch(exp)?;
+                dispatch(exp, faultmc)?;
             }
         }
         _ => {

@@ -6,9 +6,12 @@
 //! The suite covers the four cost centers of the codebase: circuit-level
 //! DC solving (two sizes), the end-to-end behavior-level `simulate`, a
 //! fault-injection Monte-Carlo campaign, and a DSE sweep. Each entry
-//! records the median and p95 wall time over `runs` repetitions plus a
-//! trace-derived per-level stage breakdown (self seconds by hierarchy
-//! level, from one additional traced repetition).
+//! records the median and p95 wall time over `runs` repetitions plus two
+//! trace-derived per-level stage breakdowns from one additional traced
+//! repetition: `stages` merges each level's self-time intervals across
+//! worker lanes (wall seconds — comparable to the median), while
+//! `stages_cpu` sums them (CPU seconds — on a parallel entry the sum
+//! exceeds the wall median, and the ratio is the effective parallelism).
 //!
 //! [`compare`] diffs two reports and flags entries whose median slowed
 //! down by more than a threshold (the CI job uses 15 %); the
@@ -32,7 +35,10 @@ use mnsim_tech::interconnect::InterconnectNode;
 use mnsim_tech::units::{Resistance, Voltage};
 
 /// Schema version of `BENCH_*.json` documents.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 split the single summed stage breakdown into `stages`
+/// (lane-merged wall seconds) and `stages_cpu` (summed CPU seconds).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One benchmark entry: repeated wall-clock timings plus a trace-derived
 /// stage breakdown.
@@ -46,8 +52,15 @@ pub struct BenchEntry {
     pub median_s: f64,
     /// 95th-percentile wall time, seconds.
     pub p95_s: f64,
-    /// Per-hierarchy-level self time (seconds) of one traced repetition.
+    /// Per-hierarchy-level **wall** self time (seconds) of one traced
+    /// repetition: each level's self-time intervals merged across worker
+    /// lanes, so the values are comparable to `median_s`.
     pub stages: BTreeMap<String, f64>,
+    /// Per-hierarchy-level **CPU** self time (seconds) of the same traced
+    /// repetition: self times summed over spans. For every level
+    /// `stages[level] <= stages_cpu[level]`; on a parallel entry the CPU
+    /// total exceeds the wall median by the effective parallelism.
+    pub stages_cpu: BTreeMap<String, f64>,
 }
 
 /// Machine metadata attached to a report.
@@ -124,8 +137,14 @@ fn bench_entry(name: &str, runs: usize, mut work: impl FnMut()) -> BenchEntry {
     samples.sort_by(f64::total_cmp);
     let session = trace::session();
     work();
-    let summary = session.finish().summary();
-    let stages = summary
+    let trace = session.finish();
+    let stages = trace
+        .level_self_wall_ns()
+        .into_iter()
+        .map(|(level, wall_ns)| (level, wall_ns as f64 / 1e9))
+        .collect();
+    let stages_cpu = trace
+        .summary()
         .levels
         .iter()
         .map(|(level, stats)| (level.clone(), stats.self_ns as f64 / 1e9))
@@ -136,6 +155,7 @@ fn bench_entry(name: &str, runs: usize, mut work: impl FnMut()) -> BenchEntry {
         median_s: sample_quantile(&samples, 0.5),
         p95_s: sample_quantile(&samples, 0.95),
         stages,
+        stages_cpu,
     }
 }
 
@@ -385,14 +405,21 @@ impl BenchReport {
                 "\"name\": \"{}\", \"runs\": {}, \"median_s\": {:?}, \"p95_s\": {:?}, ",
                 entry.name, entry.runs, entry.median_s, entry.p95_s
             );
-            out.push_str("\"stages\": {");
-            for (j, (stage, seconds)) in entry.stages.iter().enumerate() {
-                if j > 0 {
+            for (key, stages) in [("stages", &entry.stages), ("stages_cpu", &entry.stages_cpu)]
+            {
+                let _ = write!(out, "\"{key}\": {{");
+                for (j, (stage, seconds)) in stages.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{stage}\": {seconds:?}");
+                }
+                out.push('}');
+                if key == "stages" {
                     out.push_str(", ");
                 }
-                let _ = write!(out, "\"{stage}\": {seconds:?}");
             }
-            out.push_str("}}");
+            out.push('}');
         }
         out.push_str("\n  ]\n}\n");
         out
@@ -441,20 +468,26 @@ pub fn parse_bench_json(input: &str) -> Result<BenchReport, String> {
             .and_then(JsonValue::as_str)
             .ok_or_else(|| format!("{context}: missing name"))?
             .to_string();
-        let mut stages = BTreeMap::new();
-        if let Some(JsonValue::Object(pairs)) = entry.get("stages") {
-            for (stage, value) in pairs {
-                if let Some(seconds) = value.as_f64() {
-                    stages.insert(stage.clone(), seconds);
+        let stage_map = |key: &str| {
+            let mut stages = BTreeMap::new();
+            if let Some(JsonValue::Object(pairs)) = entry.get(key) {
+                for (stage, value) in pairs {
+                    if let Some(seconds) = value.as_f64() {
+                        stages.insert(stage.clone(), seconds);
+                    }
                 }
             }
-        }
+            stages
+        };
         parsed.push(BenchEntry {
             runs: field_f64(entry, "runs", &context)? as usize,
             median_s: field_f64(entry, "median_s", &context)?,
             p95_s: field_f64(entry, "p95_s", &context)?,
             name,
-            stages,
+            stages: stage_map("stages"),
+            // Absent in schema-1 documents; compare() only reads medians,
+            // so old baselines parse to an empty CPU breakdown.
+            stages_cpu: stage_map("stages_cpu"),
         });
     }
     Ok(BenchReport {
@@ -558,6 +591,7 @@ mod tests {
                     median_s: median,
                     p95_s: median * 1.2,
                     stages: BTreeMap::from([("run".to_string(), median * 0.9)]),
+                    stages_cpu: BTreeMap::from([("run".to_string(), median * 0.9)]),
                 })
                 .collect(),
         }
@@ -601,6 +635,15 @@ mod tests {
             assert!(entry.median_s > 0.0, "{} has no timing", entry.name);
             assert!(entry.p95_s >= entry.median_s);
             assert!(!entry.stages.is_empty(), "{} has no stages", entry.name);
+            // Wall (lane-merged) never exceeds CPU (summed) at any level.
+            for (level, &wall) in &entry.stages {
+                let cpu = entry.stages_cpu.get(level).copied().unwrap_or(0.0);
+                assert!(
+                    wall <= cpu + 1e-12,
+                    "{}: level {level} wall {wall} > cpu {cpu}",
+                    entry.name
+                );
+            }
         }
         // The batched multi-RHS path must beat solving the same inputs
         // serially by at least 2×: one factorization per repetition versus
@@ -643,6 +686,22 @@ mod tests {
                 "parallel VGG-16 batch pathologically slow on {} cpu(s): {:.2}x serial",
                 report.machine.cpus,
                 sim_parallel / sim_serial
+            );
+        }
+        // On a machine with the cores, the parallel entry's summed CPU
+        // stage time strictly exceeds its merged wall time — overlapping
+        // worker lanes are the whole point of the split breakdown.
+        if report.machine.cpus >= PARALLEL_THREADS {
+            let par = report
+                .entries
+                .iter()
+                .find(|e| e.name == "simulate_parallel")
+                .unwrap();
+            let wall_total: f64 = par.stages.values().sum();
+            let cpu_total: f64 = par.stages_cpu.values().sum();
+            assert!(
+                cpu_total > wall_total,
+                "simulate_parallel: cpu {cpu_total} !> wall {wall_total}"
             );
         }
         // The simulate entry sees the paper hierarchy in its breakdown.

@@ -18,21 +18,75 @@ static CG_ITERATIONS_PER_SOLVE: obs::Histogram =
     obs::Histogram::new("circuit.cg.iterations_per_solve");
 static CG_FINAL_RESIDUAL: obs::Histogram = obs::Histogram::new("circuit.cg.final_residual");
 static CG_NO_CONVERGENCE: obs::Counter = obs::Counter::new("circuit.cg.no_convergence");
+static CG_NON_FINITE: obs::Counter = obs::Counter::new("circuit.cg.non_finite");
+static CG_STAGNATED: obs::Counter = obs::Counter::new("circuit.cg.stagnated");
+
+/// Hard cap on conjugate-gradient iterations.
+///
+/// Replaces the historical `max_iterations: 0` magic-zero sentinel:
+/// "use the solver default" and "zero iterations" are now distinct,
+/// explicit values, so a caller can no longer request the default by
+/// accident when they meant a hard stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IterationCap {
+    /// The solver default: `10 × n` iterations for an `n`-unknown system.
+    Auto,
+    /// An explicit cap. `Limit(0)` genuinely means zero iterations: the
+    /// solve only succeeds if the start vector already meets the
+    /// tolerance.
+    Limit(usize),
+}
+
+impl IterationCap {
+    /// Resolves the cap against the system size `n`.
+    pub fn resolve(&self, n: usize) -> usize {
+        match self {
+            IterationCap::Auto => 10 * n,
+            IterationCap::Limit(limit) => *limit,
+        }
+    }
+}
+
+impl From<usize> for IterationCap {
+    /// Accepts the deprecated numeric convention: `0` maps to
+    /// [`IterationCap::Auto`] (the historical meaning of
+    /// `max_iterations: 0`), anything else to [`IterationCap::Limit`].
+    /// New code should name the variant it means.
+    fn from(value: usize) -> Self {
+        if value == 0 {
+            IterationCap::Auto
+        } else {
+            IterationCap::Limit(value)
+        }
+    }
+}
 
 /// Options controlling the conjugate-gradient iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CgOptions {
     /// Relative residual tolerance (‖r‖ / ‖b‖).
     pub tolerance: f64,
-    /// Hard iteration cap; 0 means `10 × n`.
-    pub max_iterations: usize,
+    /// Hard iteration cap (default [`IterationCap::Auto`] = `10 × n`).
+    /// `usize` values convert via `From` for the deprecated numeric
+    /// convention (`0` = auto).
+    pub max_iterations: IterationCap,
+    /// Stagnation guard: fail fast with
+    /// [`CircuitError::LinearStagnated`] when this many consecutive
+    /// iterations pass without a new best residual, instead of burning
+    /// the remaining iteration budget. `None` disables the guard. The
+    /// default window of 1000 sits above the plateau phases real
+    /// ill-conditioned crossbar solves go through on their way to
+    /// convergence (hundreds of iterations have been observed), so it
+    /// only trips on genuinely stuck solves.
+    pub stagnation_window: Option<usize>,
 }
 
 impl Default for CgOptions {
     fn default() -> Self {
         CgOptions {
             tolerance: 1e-10,
-            max_iterations: 0,
+            max_iterations: IterationCap::Auto,
+            stagnation_window: Some(1000),
         }
     }
 }
@@ -55,6 +109,12 @@ pub struct CgStats {
 /// * [`CircuitError::DimensionMismatch`] if shapes disagree.
 /// * [`CircuitError::LinearNoConvergence`] if the tolerance is not reached
 ///   within the iteration budget.
+/// * [`CircuitError::LinearNonFinite`] as soon as the residual or an
+///   internal quadratic form becomes NaN/Inf (detected mid-iteration, not
+///   after the budget is exhausted).
+/// * [`CircuitError::LinearStagnated`] when
+///   [`CgOptions::stagnation_window`] consecutive iterations pass without
+///   a new best residual.
 /// * [`CircuitError::SingularSystem`] if a zero diagonal entry makes the
 ///   Jacobi preconditioner undefined.
 pub fn solve_cg(a: &CsrMatrix, b: &[f64], options: &CgOptions) -> Result<(Vec<f64>, CgStats), CircuitError> {
@@ -136,11 +196,7 @@ pub fn solve_cg_warm(
         ));
     }
 
-    let max_iterations = if options.max_iterations == 0 {
-        10 * n
-    } else {
-        options.max_iterations
-    };
+    let max_iterations = options.max_iterations.resolve(n);
 
     let (mut x, mut r) = match x0 {
         None => (vec![0.0; n], b.to_vec()), // r = b - A·0
@@ -160,10 +216,23 @@ pub fn solve_cg_warm(
 
     let mut iterations = 0;
     let mut residual = norm2(&r) / b_norm;
+    if !residual.is_finite() {
+        // A NaN/Inf matrix entry, rhs, or warm-start guess poisons the
+        // initial residual — fail before doing any work.
+        CG_NON_FINITE.inc();
+        return Err(CircuitError::LinearNonFinite { iterations: 0 });
+    }
+    let mut best_residual = residual;
+    let mut since_best = 0usize;
 
     while residual > options.tolerance && iterations < max_iterations {
         a.mul_vec_into(&p, &mut ap);
         let pap = dot(&p, &ap);
+        if !pap.is_finite() {
+            CG_NON_FINITE.inc();
+            CG_ITERATIONS.add(iterations as u64);
+            return Err(CircuitError::LinearNonFinite { iterations });
+        }
         if pap <= 0.0 {
             // Not positive definite along p — report as singularity.
             return Err(CircuitError::SingularSystem { at: iterations });
@@ -184,6 +253,28 @@ pub fn solve_cg_warm(
         }
         iterations += 1;
         residual = norm2(&r) / b_norm;
+        if !residual.is_finite() {
+            CG_NON_FINITE.inc();
+            CG_ITERATIONS.add(iterations as u64);
+            return Err(CircuitError::LinearNonFinite { iterations });
+        }
+        if residual < best_residual {
+            best_residual = residual;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if let Some(window) = options.stagnation_window {
+                if since_best >= window && residual > options.tolerance {
+                    CG_STAGNATED.inc();
+                    CG_ITERATIONS.add(iterations as u64);
+                    return Err(CircuitError::LinearStagnated {
+                        iterations,
+                        residual,
+                        window,
+                    });
+                }
+            }
+        }
     }
 
     if residual > options.tolerance {
@@ -292,12 +383,108 @@ mod tests {
         let b = vec![1.0; 100];
         let opts = CgOptions {
             tolerance: 1e-14,
-            max_iterations: 2,
+            max_iterations: IterationCap::Limit(2),
+            ..CgOptions::default()
         };
         assert!(matches!(
             solve_cg(&a, &b, &opts),
             Err(CircuitError::LinearNoConvergence { iterations: 2, .. })
         ));
+    }
+
+    #[test]
+    fn iteration_cap_resolves_and_converts() {
+        assert_eq!(IterationCap::Auto.resolve(7), 70);
+        assert_eq!(IterationCap::Limit(2).resolve(7), 2);
+        assert_eq!(IterationCap::Limit(0).resolve(7), 0);
+        // Deprecated numeric convention: 0 = auto, n = hard limit.
+        assert_eq!(IterationCap::from(0), IterationCap::Auto);
+        assert_eq!(IterationCap::from(3), IterationCap::Limit(3));
+    }
+
+    #[test]
+    fn non_finite_matrix_fails_fast() {
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t.add(i, i, 2.0);
+        }
+        t.add(0, 1, f64::NAN);
+        let a = t.to_csr();
+        assert!(matches!(
+            solve_cg(&a, &[1.0; 3], &CgOptions::default()),
+            Err(CircuitError::LinearNonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_warm_start_fails_before_iterating() {
+        let a = laplacian_1d(4);
+        let guess = [f64::NAN; 4];
+        assert!(matches!(
+            solve_cg_warm(&a, &[1.0; 4], Some(&guess), &CgOptions::default()),
+            Err(CircuitError::LinearNonFinite { iterations: 0 })
+        ));
+    }
+
+    /// A system whose true residual bottoms out near machine precision
+    /// (~1e-16) long before a 1e-30 tolerance is met: the non-integer
+    /// right-hand side prevents the exact cancellation that would
+    /// otherwise terminate CG with a residual of exactly zero.
+    fn stalling_solve() -> (CsrMatrix, Vec<f64>) {
+        let a = laplacian_1d(100);
+        let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn unreachable_tolerance_trips_stagnation_guard() {
+        let (a, b) = stalling_solve();
+        let opts = CgOptions {
+            tolerance: 1e-30,
+            stagnation_window: Some(20),
+            ..CgOptions::default()
+        };
+        match solve_cg(&a, &b, &opts) {
+            Err(CircuitError::LinearStagnated {
+                iterations,
+                residual,
+                window,
+            }) => {
+                assert_eq!(window, 20);
+                assert!(iterations < 1000, "guard must fire before the budget");
+                // The guard fired where the solve bottomed out, near
+                // machine precision — not on a healthy converging stretch.
+                assert!(residual < 1e-12, "stagnated at residual {residual:e}");
+            }
+            other => panic!("expected LinearStagnated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_stagnation_guard_keeps_iterating() {
+        // Legacy behavior: with the guard off the solver grinds on past the
+        // point where the true residual stopped improving. (The recurrence
+        // residual can even drift below the unreachable tolerance, so the
+        // run may terminate "converged" — what it must never do is report
+        // stagnation.)
+        let (a, b) = stalling_solve();
+        let opts = CgOptions {
+            tolerance: 1e-30,
+            stagnation_window: None,
+            ..CgOptions::default()
+        };
+        match solve_cg(&a, &b, &opts) {
+            Err(CircuitError::LinearStagnated { .. }) => {
+                panic!("guard disabled but stagnation reported")
+            }
+            Ok((_, stats)) => assert!(
+                stats.iterations > 100,
+                "kept iterating past the stall point, got {}",
+                stats.iterations
+            ),
+            Err(CircuitError::LinearNoConvergence { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -73,6 +73,9 @@ pub use batch::{
 pub use crossbar::{CrossbarCircuit, CrossbarSpec, FaultOverlay};
 pub use error::CircuitError;
 pub use mna::{Circuit, DcSolution, Element, NodeId};
-pub use recovery::{solve_robust, RecoveryReport, RecoveryStage, RobustOptions};
+pub use cg::{CgOptions, IterationCap};
+pub use recovery::{
+    solve_robust, EarlyEscalation, RecoveryReport, RecoveryStage, RobustOptions, SolveGuard,
+};
 pub use solve::{solve_dc, Method, SolveOptions};
 pub use transient::{solve_transient, TransientOptions, TransientResult};

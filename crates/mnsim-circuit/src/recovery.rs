@@ -22,7 +22,7 @@
 use mnsim_obs as obs;
 use mnsim_obs::trace;
 
-use crate::cg::CgOptions;
+use crate::cg::{CgOptions, IterationCap};
 use crate::error::CircuitError;
 use crate::mna::{Circuit, DcSolution, Element};
 use crate::solve::{solve_dc, Method, SolveOptions};
@@ -32,6 +32,8 @@ static ROBUST_FALLBACKS: obs::Counter = obs::Counter::new("circuit.recovery.fall
 static ROBUST_EXHAUSTED: obs::Counter = obs::Counter::new("circuit.recovery.exhausted");
 static ROBUST_SPAN: obs::Span = obs::Span::new("circuit.recovery.solve");
 static KCL_RESIDUAL: obs::Histogram = obs::Histogram::new("circuit.recovery.kcl_residual");
+
+static EARLY_ESCALATIONS: obs::Counter = obs::Counter::new("solver.early_escalations");
 
 static ATTEMPT_BASE: obs::Counter = obs::Counter::new("circuit.recovery.attempts.base");
 static ATTEMPT_RELAXED: obs::Counter = obs::Counter::new("circuit.recovery.attempts.relaxed_cg");
@@ -115,6 +117,37 @@ pub struct Attempt {
     pub error: Option<CircuitError>,
 }
 
+/// A solver health guard that can cut a rung short before its iteration
+/// budget is exhausted (see [`CgOptions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveGuard {
+    /// The residual or an internal quadratic form became NaN/Inf
+    /// ([`CircuitError::LinearNonFinite`]).
+    NonFinite,
+    /// No new best residual over the stagnation window
+    /// ([`CircuitError::LinearStagnated`]).
+    Stagnated,
+}
+
+impl std::fmt::Display for SolveGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveGuard::NonFinite => write!(f, "non-finite"),
+            SolveGuard::Stagnated => write!(f, "stagnated"),
+        }
+    }
+}
+
+/// Record of a rung that failed fast on a health guard rather than burning
+/// its full iteration budget, handing the ladder to the next rung early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EarlyEscalation {
+    /// The rung that was cut short.
+    pub stage: RecoveryStage,
+    /// Which guard fired.
+    pub guard: SolveGuard,
+}
+
 /// How a robust solve obtained its answer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryReport {
@@ -125,6 +158,10 @@ pub struct RecoveryReport {
     /// Largest Kirchhoff current-law violation of the accepted solution over
     /// all source-free nodes, in amperes.
     pub kcl_residual: f64,
+    /// Rungs that failed fast on a solver health guard (non-finite residual
+    /// or stagnation) instead of exhausting their iteration budget. Empty on
+    /// a clean solve; entries are in ladder order.
+    pub early_escalations: Vec<EarlyEscalation>,
 }
 
 impl RecoveryReport {
@@ -159,9 +196,11 @@ pub fn solve_robust(
         method: Method::Cg,
         cg: CgOptions {
             tolerance: options.relaxed_tolerance,
-            // The default cap is 10·n; badly conditioned defect systems get
-            // four times that before the ladder gives up on CG.
-            max_iterations: 0,
+            // The relaxed rung keeps the 10·n default cap; with the loose
+            // tolerance that budget is generous, and the health guards cut
+            // the rung short if the system is genuinely stuck.
+            max_iterations: IterationCap::Auto,
+            ..options.base.cg.clone()
         },
         ..options.base.clone()
     };
@@ -176,6 +215,7 @@ pub fn solve_robust(
     ];
 
     let mut attempts = Vec::new();
+    let mut early_escalations = Vec::new();
     let mut last_error = None;
     for (stage, solve_options) in ladder {
         stage.attempt_counter().inc();
@@ -195,10 +235,21 @@ pub fn solve_robust(
                         attempts,
                         stage,
                         kcl_residual,
+                        early_escalations,
                     },
                 ));
             }
             Err(error) => {
+                let guard = match &error {
+                    CircuitError::LinearNonFinite { .. } => Some(SolveGuard::NonFinite),
+                    CircuitError::LinearStagnated { .. } => Some(SolveGuard::Stagnated),
+                    _ => None,
+                };
+                if let Some(guard) = guard {
+                    EARLY_ESCALATIONS.inc();
+                    trace::instant("recovery.early_escalation", trace::Level::Stage, 1.0);
+                    early_escalations.push(EarlyEscalation { stage, guard });
+                }
                 attempts.push(Attempt {
                     stage,
                     error: Some(error.clone()),
@@ -300,7 +351,43 @@ mod tests {
         assert!(!report.fallback_fired());
         assert_eq!(report.failed_attempts(), 0);
         assert!(report.kcl_residual < 1e-9, "residual {}", report.kcl_residual);
+        assert!(report.early_escalations.is_empty());
         assert!(xbar.output_voltages(&solution).iter().all(|v| v.volts() > 0.0));
+    }
+
+    #[test]
+    fn stagnation_guard_records_early_escalation() {
+        // An unreachable tolerance makes the base CG rung stagnate; the
+        // guard hands the ladder to the relaxed rung early, and the report
+        // must say which guard fired on which rung.
+        let xbar = healthy_spec(6, 6).build().unwrap();
+        let mut options = RobustOptions::default();
+        options.base.method = Method::Cg;
+        options.base.cg = CgOptions {
+            tolerance: 1e-30,
+            stagnation_window: Some(3),
+            ..CgOptions::default()
+        };
+        options.relaxed_tolerance = 1e-6;
+        let (_, report) = solve_robust(xbar.circuit(), &options).unwrap();
+        assert!(report.fallback_fired());
+        assert!(matches!(
+            report.attempts[0].error,
+            Some(CircuitError::LinearStagnated { window: 3, .. })
+        ));
+        assert_eq!(
+            report.early_escalations,
+            vec![EarlyEscalation {
+                stage: RecoveryStage::Base,
+                guard: SolveGuard::Stagnated,
+            }]
+        );
+    }
+
+    #[test]
+    fn guard_display_names() {
+        assert_eq!(SolveGuard::NonFinite.to_string(), "non-finite");
+        assert_eq!(SolveGuard::Stagnated.to_string(), "stagnated");
     }
 
     #[test]
@@ -330,7 +417,8 @@ mod tests {
         options.base.method = Method::Cg;
         options.base.cg = CgOptions {
             tolerance: 1e-14,
-            max_iterations: 1,
+            max_iterations: IterationCap::Limit(1),
+            ..CgOptions::default()
         };
         // Keep the relaxed rung honest but reachable.
         options.relaxed_tolerance = 1e-6;

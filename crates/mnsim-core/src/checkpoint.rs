@@ -1,0 +1,308 @@
+//! Deterministic checkpoint/resume substrate for long campaigns.
+//!
+//! Fault-Monte-Carlo campaigns ([`crate::fault_sim`]) and design-space
+//! explorations ([`crate::dse`]) can run for hours; a cancellation,
+//! deadline, or crash at trial 9,847 of 10,000 must not lose the first
+//! 9,846. This module holds the pieces those campaign drivers share:
+//!
+//! * [`CheckpointPolicy`] — *where* to write and *how often*, attached to
+//!   [`FaultConfig`](crate::fault_sim::FaultConfig) or passed to the DSE
+//!   entry points;
+//! * a **versioned, self-describing file format**: plain JSON written
+//!   with the same zero-dependency conventions as the observability
+//!   snapshots (floats via `{:?}` so they round-trip bit-exactly through
+//!   [`mnsim_obs::parse_json`]; `u64` seeds and fingerprints as `"0x…"`
+//!   hex strings because JSON numbers lose integers above 2⁵³);
+//! * **campaign fingerprints** ([`fnv64`] over a canonical description)
+//!   so a checkpoint is only ever resumed into the campaign that wrote
+//!   it — a mismatched config, seed, or design space is a hard
+//!   [`CoreError::Checkpoint`] error, never silent corruption;
+//! * **atomic writes** ([`write_atomic`]): the file is staged to a
+//!   sibling `.tmp` and renamed into place, so a crash mid-write leaves
+//!   the previous checkpoint intact.
+//!
+//! Because every trial derives its RNG stream independently (SplitMix64
+//! per-trial seeding) and reductions run in canonical index order, a
+//! resumed campaign is **bit-identical** to an uninterrupted one — the
+//! property the `campaign_resume` integration tests pin down.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use mnsim_obs as obs;
+use mnsim_obs::trace;
+use mnsim_obs::JsonValue;
+
+use crate::error::CoreError;
+
+/// Format version stamped into every checkpoint file. Readers reject
+/// other versions outright: checkpoints are short-lived working state,
+/// not archives, so there is no cross-version migration.
+pub const SCHEMA_VERSION: u32 = 1;
+
+static CHECKPOINT_WRITTEN: obs::Counter = obs::Counter::new("checkpoint.written");
+static CHECKPOINT_RESUMED: obs::Counter = obs::Counter::new("checkpoint.resumed");
+
+/// When and where a campaign persists its progress.
+///
+/// With a policy attached, the campaign writes the checkpoint after every
+/// `every_n` newly completed items **and** once more when the run stops —
+/// whether it finished, errored, or was interrupted — so the file always
+/// reflects the latest completed work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Write the checkpoint after this many newly completed items
+    /// (chunk-granular; the final write on exit always happens).
+    pub every_n: usize,
+    /// Checkpoint file path. The write is atomic (staged via a sibling
+    /// `.tmp` file), so the path never holds a torn checkpoint.
+    pub path: String,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint to `path` with the default cadence (every 64 items).
+    pub fn new(path: impl Into<String>) -> Self {
+        CheckpointPolicy {
+            every_n: 64,
+            path: path.into(),
+        }
+    }
+
+    /// Sets the cadence: write after every `n` newly completed items
+    /// (`n` is clamped to at least 1).
+    pub fn every(mut self, n: usize) -> Self {
+        self.every_n = n.max(1);
+        self
+    }
+}
+
+/// Records a checkpoint write in the observability layer.
+pub(crate) fn note_written(completed: usize) {
+    CHECKPOINT_WRITTEN.inc();
+    trace::instant("checkpoint.written", trace::Level::Run, completed as f64);
+}
+
+/// Records a successful resume in the observability layer.
+pub(crate) fn note_resumed(completed: usize) {
+    CHECKPOINT_RESUMED.inc();
+    trace::instant("checkpoint.resumed", trace::Level::Run, completed as f64);
+}
+
+/// Writes `contents` to `path` atomically: staged to a sibling
+/// `<file_name>.tmp` in the same directory, then renamed over `path`.
+///
+/// # Errors
+///
+/// [`CoreError::Checkpoint`] when the staging write or the rename fails.
+pub fn write_atomic(path: &str, contents: &str) -> Result<(), CoreError> {
+    let target = Path::new(path);
+    let file_name = target
+        .file_name()
+        .and_then(|name| name.to_str())
+        .ok_or_else(|| CoreError::Checkpoint {
+            path: path.to_string(),
+            reason: "path has no file name".to_string(),
+        })?;
+    let tmp = target.with_file_name(format!("{file_name}.tmp"));
+    std::fs::write(&tmp, contents).map_err(|e| CoreError::Checkpoint {
+        path: path.to_string(),
+        reason: format!("staging write failed: {e}"),
+    })?;
+    std::fs::rename(&tmp, target).map_err(|e| CoreError::Checkpoint {
+        path: path.to_string(),
+        reason: format!("rename into place failed: {e}"),
+    })
+}
+
+/// Reads and parses a checkpoint file.
+///
+/// # Errors
+///
+/// [`CoreError::Checkpoint`] when the file cannot be read or is not
+/// valid JSON.
+pub fn read_json(path: &str) -> Result<JsonValue, CoreError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CoreError::Checkpoint {
+        path: path.to_string(),
+        reason: format!("read failed: {e}"),
+    })?;
+    obs::parse_json(&text).map_err(|e| CoreError::Checkpoint {
+        path: path.to_string(),
+        reason: format!("parse failed: {e}"),
+    })
+}
+
+/// Checks the `schema` and `kind` headers of a parsed checkpoint.
+///
+/// # Errors
+///
+/// [`CoreError::Checkpoint`] when either header is missing or does not
+/// match what the resuming campaign expects.
+pub fn check_header(path: &str, value: &JsonValue, kind: &str) -> Result<(), CoreError> {
+    let schema = value.get("schema").and_then(JsonValue::as_f64);
+    if schema != Some(f64::from(SCHEMA_VERSION)) {
+        return Err(CoreError::Checkpoint {
+            path: path.to_string(),
+            reason: format!(
+                "unsupported schema version {:?} (this build writes {SCHEMA_VERSION})",
+                schema
+            ),
+        });
+    }
+    let found = value.get("kind").and_then(JsonValue::as_str);
+    if found != Some(kind) {
+        return Err(CoreError::Checkpoint {
+            path: path.to_string(),
+            reason: format!("kind {:?} is not a {kind} checkpoint", found),
+        });
+    }
+    Ok(())
+}
+
+/// 64-bit FNV-1a over `bytes` — the campaign fingerprint hash. Stable
+/// across platforms and builds (it is pure arithmetic on the canonical
+/// description string), unlike `std`'s unstable-by-design hasher.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Formats a `u64` as a `"0x…"` hex string — the checkpoint encoding for
+/// seeds and fingerprints, which would lose precision as JSON numbers.
+pub fn hex_u64(value: u64) -> String {
+    format!("0x{value:016x}")
+}
+
+/// Parses the [`hex_u64`] encoding back.
+pub fn parse_hex_u64(text: &str) -> Option<u64> {
+    let digits = text.strip_prefix("0x")?;
+    u64::from_str_radix(digits, 16).ok()
+}
+
+/// Extracts a required [`hex_u64`]-encoded field from a checkpoint
+/// object.
+///
+/// # Errors
+///
+/// [`CoreError::Checkpoint`] when the field is missing or malformed.
+pub fn require_hex_u64(path: &str, value: &JsonValue, field: &str) -> Result<u64, CoreError> {
+    value
+        .get(field)
+        .and_then(JsonValue::as_str)
+        .and_then(parse_hex_u64)
+        .ok_or_else(|| CoreError::Checkpoint {
+            path: path.to_string(),
+            reason: format!("missing or malformed `{field}` field"),
+        })
+}
+
+/// Appends `value` as a JSON string literal (with escapes) to `out`.
+pub(crate) fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `value` as a JSON number (`{:?}` round-trips f64 exactly;
+/// non-finite values become `null`).
+pub(crate) fn push_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_builders() {
+        let policy = CheckpointPolicy::new("/tmp/ck.json");
+        assert_eq!(policy.every_n, 64);
+        assert_eq!(policy.path, "/tmp/ck.json");
+        assert_eq!(policy.clone().every(3).every_n, 3);
+        assert_eq!(policy.every(0).every_n, 1, "cadence clamps to 1");
+    }
+
+    #[test]
+    fn hex_u64_round_trips() {
+        for value in [0u64, 1, 0x00C0_FFEE, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            assert_eq!(parse_hex_u64(&hex_u64(value)), Some(value));
+        }
+        assert_eq!(parse_hex_u64("123"), None);
+        assert_eq!(parse_hex_u64("0xzz"), None);
+    }
+
+    #[test]
+    fn fnv64_is_stable_and_sensitive() {
+        // Pinned value: the fingerprint must never change across builds,
+        // or every existing checkpoint would be rejected.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv64(b"trials=8"), fnv64(b"trials=9"));
+    }
+
+    #[test]
+    fn atomic_write_then_read_round_trips() {
+        let dir = std::env::temp_dir().join("mnsim_checkpoint_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("ck.json");
+        let path = path.to_str().expect("utf-8 path");
+
+        let mut body = String::from("{\"schema\": 1, \"kind\": \"fault_mc\", \"seed\": ");
+        push_json_string(&mut body, &hex_u64(0x00C0_FFEE));
+        body.push('}');
+        write_atomic(path, &body).expect("write");
+
+        let value = read_json(path).expect("read");
+        check_header(path, &value, "fault_mc").expect("header");
+        assert_eq!(require_hex_u64(path, &value, "seed").expect("seed"), 0x00C0_FFEE);
+        assert!(check_header(path, &value, "dse").is_err());
+        assert!(require_hex_u64(path, &value, "missing").is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_helpers_escape_and_round_trip_floats() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+
+        for v in [0.0, -1.5, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let mut out = String::new();
+            push_json_f64(&mut out, v);
+            let parsed = obs::parse_json(&out).expect("parses");
+            assert_eq!(parsed.as_f64().map(f64::to_bits), Some(v.to_bits()), "{v}");
+        }
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn missing_file_and_bad_json_are_typed_errors() {
+        match read_json("/nonexistent/dir/ck.json") {
+            Err(CoreError::Checkpoint { path, .. }) => {
+                assert_eq!(path, "/nonexistent/dir/ck.json");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+    }
+}

@@ -8,15 +8,18 @@
 //! constrained sweeps (Table V), trade-off curves (Figs. 7/8) and Pareto
 //! filtering.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use mnsim_obs as obs;
 use mnsim_obs::trace;
+use mnsim_obs::JsonValue;
 use mnsim_tech::interconnect::InterconnectNode;
 
+use crate::checkpoint::{self, CheckpointPolicy};
 use crate::config::Config;
-use crate::error::CoreError;
-use crate::exec::{self, ExecOptions};
+use crate::error::{ConfigError, CoreError};
+use crate::exec::{self, ExecError, ExecOptions, Interrupt, RunControl};
 use crate::simulate::{simulate, Report};
 
 static DSE_POINTS: obs::Counter = obs::Counter::new("core.dse.points");
@@ -69,6 +72,53 @@ impl DesignSpace {
     /// `true` if the space contains no combinations.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Validates the swept ranges before a traversal starts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] with one typed [`ConfigError`] per
+    /// empty range, and one for a space whose every combination is
+    /// removed by the `parallelism ≤ crossbar size` filter — instead of
+    /// silently producing a degenerate zero-point exploration.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let mut errors = Vec::new();
+        if self.crossbar_sizes.is_empty() {
+            errors.push(ConfigError {
+                field_path: "DesignSpace.crossbar_sizes".into(),
+                reason: "no crossbar sizes to sweep".into(),
+                allowed: "at least one size".into(),
+            });
+        }
+        if self.parallelism_degrees.is_empty() {
+            errors.push(ConfigError {
+                field_path: "DesignSpace.parallelism_degrees".into(),
+                reason: "no parallelism degrees to sweep".into(),
+                allowed: "at least one degree".into(),
+            });
+        }
+        if self.interconnects.is_empty() {
+            errors.push(ConfigError {
+                field_path: "DesignSpace.interconnects".into(),
+                reason: "no interconnect nodes to sweep".into(),
+                allowed: "at least one node".into(),
+            });
+        }
+        if errors.is_empty() && self.combinations().is_empty() {
+            errors.push(ConfigError {
+                field_path: "DesignSpace.parallelism_degrees".into(),
+                reason: "every combination is filtered out (all degrees exceed every \
+                         crossbar size)"
+                    .into(),
+                allowed: "at least one degree ≤ the largest crossbar size".into(),
+            });
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::Config { errors })
+        }
     }
 
     /// All valid `(size, parallelism, interconnect)` combinations.
@@ -310,20 +360,250 @@ pub fn explore_with(
     constraints: &Constraints,
     options: &ExecOptions,
 ) -> Result<DseResult, CoreError> {
+    explore_controlled(base, space, constraints, options, &RunControl::default(), None)
+}
+
+/// [`explore_with`] under a campaign control plane: the traversal
+/// observes `control`'s [`CancelToken`](crate::exec::CancelToken) and
+/// [`Deadline`](crate::exec::Deadline) at chunk boundaries, and — when a
+/// [`CheckpointPolicy`] is given — persists which combinations have been
+/// evaluated (and whether they were feasible) so an interrupted sweep can
+/// resume.
+///
+/// The checkpoint stores the evaluated-combination set and feasibility
+/// flags, **not** the full simulation reports: on resume, previously
+/// *infeasible* combinations are skipped outright, while feasible ones
+/// are re-evaluated (evaluation is pure and seedless, so re-evaluation is
+/// deterministic and the resumed [`DseResult`] — including its Pareto
+/// front — is bit-identical to an uninterrupted traversal). Feasible sets
+/// are typically a small fraction of the sweep, so the re-evaluation cost
+/// is marginal compared to serializing every [`Report`].
+///
+/// # Errors
+///
+/// Everything [`explore_with`] returns, plus [`CoreError::Cancelled`] /
+/// [`CoreError::DeadlineExceeded`] on interruption (carrying the
+/// checkpoint path when one was written), [`CoreError::WorkerPanic`] for
+/// a panicking evaluation, [`CoreError::Config`] for an invalid
+/// [`DesignSpace`], and [`CoreError::Checkpoint`] for unusable or
+/// mismatched checkpoint files.
+pub fn explore_controlled(
+    base: &Config,
+    space: &DesignSpace,
+    constraints: &Constraints,
+    options: &ExecOptions,
+    control: &RunControl,
+    checkpoint_policy: Option<&CheckpointPolicy>,
+) -> Result<DseResult, CoreError> {
     let _span = EXPLORE_SPAN.enter();
     let _trace_span = trace::span("dse.explore", trace::Level::Run);
+    space.validate()?;
     let started = Instant::now();
     let combos = space.combinations();
-    let evaluated: Vec<Option<DesignPoint>> =
-        exec::try_map_slice(&combos, options.threads, |_, &(size, p, wire)| {
+    let fingerprint = sweep_fingerprint(base, space, constraints);
+
+    // Outer None = not yet evaluated; inner Option = feasible or not.
+    let mut slots: Vec<Option<Option<DesignPoint>>> = (0..combos.len()).map(|_| None).collect();
+    if let Some(policy) = checkpoint_policy {
+        if policy.path.is_empty() {
+            return Err(CoreError::Config {
+                errors: vec![ConfigError {
+                    field_path: "CheckpointPolicy.path".into(),
+                    reason: "checkpoint path is empty".into(),
+                    allowed: "a writable file path".into(),
+                }],
+            });
+        }
+        if std::path::Path::new(&policy.path).exists() {
+            let resumed = load_dse_checkpoint(&policy.path, fingerprint, &mut slots)?;
+            checkpoint::note_resumed(resumed);
+        }
+    }
+
+    let wave_len = checkpoint_policy.map_or(usize::MAX, |policy| policy.every_n.max(1));
+    let remaining: Vec<usize> = (0..combos.len()).filter(|&i| slots[i].is_none()).collect();
+    let mut failure: Option<ExecError<CoreError>> = None;
+    let mut interrupt = None;
+
+    for wave in remaining.chunks(wave_len.min(remaining.len().max(1))) {
+        if control.interrupted().is_some() {
+            interrupt = control.interrupted();
+            // An interrupted sweep must always leave its checkpoint on disk,
+            // even when the control plane tripped before the first wave.
+            if let Some(policy) = checkpoint_policy {
+                write_dse_checkpoint(policy, fingerprint, combos.len(), &slots)?;
+            }
+            break;
+        }
+        let wave_report = exec::run_indices(wave, options.threads, control, |index| {
+            let (size, p, wire) = combos[index];
             let point = evaluate_point(base, size, p, wire)?;
             let admitted = constraints.admits(&point.report);
             record_admission(admitted);
             Ok::<_, CoreError>(admitted.then_some(point))
-        })?;
-    let feasible: Vec<DesignPoint> = evaluated.into_iter().flatten().collect();
+        });
+        for (position, slot) in wave_report.results.into_iter().enumerate() {
+            if let Some(outcome) = slot {
+                slots[wave[position]] = Some(outcome);
+            }
+        }
+        if let Some(policy) = checkpoint_policy {
+            write_dse_checkpoint(policy, fingerprint, combos.len(), &slots)?;
+        }
+        if wave_report.error.is_some() {
+            failure = wave_report.error;
+            break;
+        }
+        if wave_report.interrupt.is_some() {
+            interrupt = wave_report.interrupt;
+            break;
+        }
+    }
+
+    let completed = slots.iter().filter(|slot| slot.is_some()).count();
+    let checkpoint_path = checkpoint_policy.map(|policy| policy.path.clone());
+    if let Some(error) = failure {
+        return Err(match error {
+            ExecError::Item { error, .. } => error,
+            ExecError::WorkerPanic { index, payload } => CoreError::WorkerPanic { index, payload },
+            ExecError::Cancelled { .. } => CoreError::Cancelled {
+                completed,
+                total: combos.len(),
+                checkpoint: checkpoint_path,
+            },
+            ExecError::DeadlineExceeded { .. } => CoreError::DeadlineExceeded {
+                completed,
+                total: combos.len(),
+                checkpoint: checkpoint_path,
+            },
+        });
+    }
+    if completed < combos.len() {
+        let kind = interrupt
+            .or_else(|| control.interrupted())
+            .unwrap_or(Interrupt::Cancelled);
+        return Err(match kind {
+            Interrupt::Cancelled => CoreError::Cancelled {
+                completed,
+                total: combos.len(),
+                checkpoint: checkpoint_path,
+            },
+            Interrupt::DeadlineExceeded => CoreError::DeadlineExceeded {
+                completed,
+                total: combos.len(),
+                checkpoint: checkpoint_path,
+            },
+        });
+    }
+
+    let feasible: Vec<DesignPoint> = slots
+        .into_iter()
+        .filter_map(|slot| slot.expect("complete traversal evaluated every combination"))
+        .collect();
     record_throughput(combos.len(), started);
     finish(combos.len(), feasible, constraints)
+}
+
+/// Fingerprints the sweep identity: base config, swept ranges, and
+/// constraints (feasibility flags depend on them); excludes thread count
+/// and the checkpoint policy.
+fn sweep_fingerprint(base: &Config, space: &DesignSpace, constraints: &Constraints) -> u64 {
+    let canonical = format!("dse|config={base:?}|space={space:?}|constraints={constraints:?}");
+    checkpoint::fnv64(canonical.as_bytes())
+}
+
+/// Writes the evaluated-combination set atomically in the versioned
+/// checkpoint format.
+fn write_dse_checkpoint(
+    policy: &CheckpointPolicy,
+    fingerprint: u64,
+    combos: usize,
+    slots: &[Option<Option<DesignPoint>>],
+) -> Result<(), CoreError> {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n  \"schema\": ");
+    let _ = write!(out, "{}", checkpoint::SCHEMA_VERSION);
+    out.push_str(",\n  \"kind\": \"dse\",\n  \"fingerprint\": ");
+    checkpoint::push_json_string(&mut out, &checkpoint::hex_u64(fingerprint));
+    out.push_str(",\n  \"combos\": ");
+    let _ = write!(out, "{combos}");
+    out.push_str(",\n  \"evaluated\": [");
+    let mut first = true;
+    for (index, slot) in slots.iter().enumerate() {
+        let Some(outcome) = slot else { continue };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n    {{\"index\": {index}, \"feasible\": {}}}",
+            outcome.is_some()
+        );
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    checkpoint::write_atomic(&policy.path, &out)?;
+    checkpoint::note_written(slots.iter().filter(|slot| slot.is_some()).count());
+    Ok(())
+}
+
+/// Loads a DSE checkpoint, marking previously-infeasible combinations as
+/// evaluated (feasible ones stay pending for deterministic
+/// re-evaluation). Returns how many combinations were skipped outright.
+fn load_dse_checkpoint(
+    path: &str,
+    fingerprint: u64,
+    slots: &mut [Option<Option<DesignPoint>>],
+) -> Result<usize, CoreError> {
+    let malformed = |reason: String| CoreError::Checkpoint {
+        path: path.to_string(),
+        reason,
+    };
+    let value = checkpoint::read_json(path)?;
+    checkpoint::check_header(path, &value, "dse")?;
+    let found = checkpoint::require_hex_u64(path, &value, "fingerprint")?;
+    if found != fingerprint {
+        return Err(malformed(format!(
+            "fingerprint {} does not match this sweep ({}); refusing to resume a different \
+             config/space/constraints",
+            checkpoint::hex_u64(found),
+            checkpoint::hex_u64(fingerprint),
+        )));
+    }
+    let combos = value.get("combos").and_then(JsonValue::as_f64);
+    if combos != Some(slots.len() as f64) {
+        return Err(malformed(format!(
+            "combination count {combos:?} does not match sweep ({})",
+            slots.len()
+        )));
+    }
+    let evaluated = value
+        .get("evaluated")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| malformed("missing `evaluated` array".into()))?;
+    let mut resumed = 0usize;
+    for record in evaluated {
+        let index = record
+            .get("index")
+            .and_then(JsonValue::as_f64)
+            .filter(|i| i.fract() == 0.0 && *i >= 0.0 && *i < slots.len() as f64)
+            .ok_or_else(|| malformed("evaluated record with missing/out-of-range `index`".into()))?
+            as usize;
+        let feasible = match record.get("feasible") {
+            Some(JsonValue::Bool(b)) => *b,
+            _ => return Err(malformed(format!("combination {index}: bad `feasible`"))),
+        };
+        if !feasible {
+            // Only infeasible combinations are skipped; feasible ones are
+            // re-evaluated so the result carries full reports.
+            slots[index] = Some(None);
+            resumed += 1;
+        }
+    }
+    Ok(resumed)
 }
 
 /// Multi-threaded variant of [`explore`].

@@ -74,6 +74,45 @@ pub enum CoreError {
     Circuit(CircuitError),
     /// Error propagated from the network substrate.
     Nn(NnError),
+    /// A campaign was cancelled before completing every item (via
+    /// [`CancelToken`](crate::exec::CancelToken)).
+    Cancelled {
+        /// Items that ran to completion before the cut.
+        completed: usize,
+        /// Items requested.
+        total: usize,
+        /// Path of the checkpoint holding the completed work, if one was
+        /// written — resume from it to finish the run bit-identically.
+        checkpoint: Option<String>,
+    },
+    /// A campaign's deadline (via
+    /// [`Deadline`](crate::exec::Deadline)) expired before completing
+    /// every item.
+    DeadlineExceeded {
+        /// Items that ran to completion before the cut.
+        completed: usize,
+        /// Items requested.
+        total: usize,
+        /// Path of the checkpoint holding the completed work, if one was
+        /// written.
+        checkpoint: Option<String>,
+    },
+    /// A worker closure panicked on one item; sibling items were
+    /// evaluated and their results preserved up to the failure.
+    WorkerPanic {
+        /// The item index whose worker panicked.
+        index: usize,
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// A checkpoint file could not be read, parsed, or written, or does
+    /// not belong to the campaign being resumed.
+    Checkpoint {
+        /// The checkpoint file path.
+        path: String,
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -106,6 +145,34 @@ impl fmt::Display for CoreError {
             CoreError::Tech(e) => write!(f, "technology model: {e}"),
             CoreError::Circuit(e) => write!(f, "circuit simulation: {e}"),
             CoreError::Nn(e) => write!(f, "network substrate: {e}"),
+            CoreError::Cancelled {
+                completed,
+                total,
+                checkpoint,
+            } => {
+                write!(f, "campaign cancelled after {completed}/{total} items")?;
+                if let Some(path) = checkpoint {
+                    write!(f, " (checkpoint: {path})")?;
+                }
+                Ok(())
+            }
+            CoreError::DeadlineExceeded {
+                completed,
+                total,
+                checkpoint,
+            } => {
+                write!(f, "deadline exceeded after {completed}/{total} items")?;
+                if let Some(path) = checkpoint {
+                    write!(f, " (checkpoint: {path})")?;
+                }
+                Ok(())
+            }
+            CoreError::WorkerPanic { index, payload } => {
+                write!(f, "worker panicked on item {index}: {payload}")
+            }
+            CoreError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint `{path}`: {reason}")
+            }
         }
     }
 }

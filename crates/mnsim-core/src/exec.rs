@@ -27,16 +27,35 @@
 //! With one thread (or one item) the pool degenerates to the plain serial
 //! loop on the calling thread: no spawn, no chunk spans, no queue.
 //!
+//! The **controlled** entry points ([`run_indices`],
+//! [`try_map_n_controlled`], [`try_map_slice_controlled`]) add the
+//! campaign control plane on top of the same engine: a cooperative
+//! [`CancelToken`] and per-run [`Deadline`] checked at chunk boundaries,
+//! and per-item panic isolation that surfaces one panicking worker as a
+//! typed [`ExecError::WorkerPanic`] while keeping every sibling result.
+//! The returned [`MapReport`] says exactly which items completed — the
+//! substrate the checkpoint/resume layer
+//! ([`crate::checkpoint`]) builds on.
+//!
 //! [`ExecOptions`] is the one knob the public entry points share; see
 //! [`crate::simulator::Simulator`] for the session-style front end.
 
+use std::any::Any;
 use std::convert::Infallible;
+use std::fmt;
 use std::num::NonZeroUsize;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
+use mnsim_obs as obs;
 use mnsim_obs::trace;
+
+static EXEC_CANCELLED: obs::Counter = obs::Counter::new("exec.cancelled");
+static EXEC_DEADLINE_EXCEEDED: obs::Counter = obs::Counter::new("exec.deadline_exceeded");
+static EXEC_WORKER_PANICS: obs::Counter = obs::Counter::new("exec.worker_panics");
 
 /// Chunks handed out per worker on average; >1 lets the queue rebalance
 /// around slow items, while keeping per-chunk overhead negligible.
@@ -112,6 +131,566 @@ pub fn resolve_threads(threads: usize) -> usize {
     } else {
         threads
     }
+}
+
+/// A cooperative cancellation token shared between a campaign driver and
+/// the worker pool executing it.
+///
+/// Cancellation is **cooperative and chunk-granular**: workers check the
+/// token at chunk boundaries (and the serial path before every item), so
+/// a cancelled run stops promptly but never mid-item — every item either
+/// ran to completion or did not run at all, which is what makes
+/// checkpoint/resume bit-identical.
+///
+/// Tokens are cheap to clone; clones share the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Remaining item budget for [`CancelToken::after_items`];
+    /// `usize::MAX` means "no budget" (only explicit [`CancelToken::cancel`]).
+    budget: AtomicUsize,
+}
+
+impl Default for CancelInner {
+    fn default() -> Self {
+        CancelInner {
+            cancelled: AtomicBool::new(false),
+            budget: AtomicUsize::new(usize::MAX),
+        }
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that cancels itself once `items` work items have completed
+    /// under it — a deterministic way to interrupt a run mid-flight
+    /// (used heavily by the resume-equivalence tests). The cut is
+    /// chunk-granular: a parallel run may complete a few more items than
+    /// `items` before the workers observe the trip.
+    pub fn after_items(items: usize) -> Self {
+        let token = CancelToken::new();
+        token.inner.budget.store(items, Ordering::Relaxed);
+        if items == 0 {
+            token.inner.cancelled.store(true, Ordering::Relaxed);
+        }
+        token
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the next
+    /// chunk boundary of any run observing this token.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested (or the item budget of
+    /// [`CancelToken::after_items`] is exhausted).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Deducts `items` completed work items from the budget, tripping the
+    /// token when the budget reaches zero. No-op for budget-less tokens.
+    fn note_completed(&self, items: usize) {
+        if items == 0 {
+            return;
+        }
+        let updated = self.inner.budget.fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |budget| {
+                if budget == usize::MAX {
+                    None // unlimited: leave untouched
+                } else {
+                    Some(budget.saturating_sub(items))
+                }
+            },
+        );
+        if let Ok(previous) = updated {
+            if previous <= items {
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A wall-clock deadline for a run; checked at the same chunk boundaries
+/// as [`CancelToken`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `duration` from now.
+    pub fn after(duration: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + duration,
+        }
+    }
+
+    /// A deadline `millis` milliseconds from now (the CLI convention:
+    /// `--deadline-ms`).
+    pub fn after_millis(millis: u64) -> Self {
+        Deadline::after(Duration::from_millis(millis))
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline { at: instant }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// Why a run stopped before evaluating every item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// A [`CancelToken`] tripped.
+    Cancelled,
+    /// A [`Deadline`] expired.
+    DeadlineExceeded,
+}
+
+/// The per-run control plane: an optional cancellation token and an
+/// optional deadline, threaded through the controlled execution entry
+/// points ([`run_indices`], [`try_map_n_controlled`],
+/// [`try_map_slice_controlled`]).
+///
+/// The default control (no token, no deadline) never interrupts — a
+/// controlled run under it behaves exactly like the legacy open-loop run.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Cooperative cancellation, if the caller wants to be able to stop
+    /// the run.
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock budget, if the run must finish by a certain time.
+    pub deadline: Option<Deadline>,
+}
+
+impl RunControl {
+    /// A control plane that never interrupts.
+    pub fn new() -> Self {
+        RunControl::default()
+    }
+
+    /// A control plane observing `token`.
+    pub fn with_cancel(token: CancelToken) -> Self {
+        RunControl {
+            cancel: Some(token),
+            deadline: None,
+        }
+    }
+
+    /// A control plane bounded by `deadline`.
+    pub fn with_deadline(deadline: Deadline) -> Self {
+        RunControl {
+            cancel: None,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Adds (or replaces) the cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Adds (or replaces) the deadline.
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Checks both signals: cancellation wins over the deadline when both
+    /// have fired (the caller asked first).
+    pub fn interrupted(&self) -> Option<Interrupt> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(Interrupt::Cancelled);
+        }
+        if self.deadline.as_ref().is_some_and(Deadline::expired) {
+            return Some(Interrupt::DeadlineExceeded);
+        }
+        None
+    }
+}
+
+/// A typed failure from a controlled run. `E` is the caller's item error
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError<E> {
+    /// The earliest failing item's own error — the exact error a serial
+    /// loop would have reported.
+    Item {
+        /// The item index (in the caller's index space) that failed.
+        index: usize,
+        /// The item's error.
+        error: E,
+    },
+    /// A worker closure panicked on one item. The other items' results
+    /// were collected intact; only this item is lost.
+    WorkerPanic {
+        /// The item index whose closure panicked.
+        index: usize,
+        /// The panic payload, stringified (`&str` / `String` payloads are
+        /// preserved verbatim).
+        payload: String,
+    },
+    /// The run was cancelled before evaluating every item.
+    Cancelled {
+        /// Items that ran to completion before the cut.
+        completed: usize,
+        /// Items requested.
+        total: usize,
+    },
+    /// The run's deadline expired before evaluating every item.
+    DeadlineExceeded {
+        /// Items that ran to completion before the cut.
+        completed: usize,
+        /// Items requested.
+        total: usize,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for ExecError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Item { index, error } => write!(f, "item {index}: {error}"),
+            ExecError::WorkerPanic { index, payload } => {
+                write!(f, "worker panicked on item {index}: {payload}")
+            }
+            ExecError::Cancelled { completed, total } => {
+                write!(f, "run cancelled after {completed}/{total} items")
+            }
+            ExecError::DeadlineExceeded { completed, total } => {
+                write!(f, "deadline exceeded after {completed}/{total} items")
+            }
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for ExecError<E> {}
+
+/// The full outcome of a controlled run: per-item results, the earliest
+/// failure (if any), and whether the run was interrupted.
+///
+/// Unlike [`try_map_n`], nothing is discarded: a panic or error on one
+/// item leaves the sibling results in [`MapReport::results`], and an
+/// interrupted run reports exactly which items completed — the substrate
+/// checkpoint/resume builds on.
+#[derive(Debug)]
+pub struct MapReport<R, E> {
+    /// One slot per requested index, in request order: `Some` iff that
+    /// item ran to successful completion.
+    pub results: Vec<Option<R>>,
+    /// The earliest-index item failure or worker panic, if any.
+    pub error: Option<ExecError<E>>,
+    /// Why the run stopped early, if it did. Only set when at least one
+    /// requested item did **not** complete: a cancellation that lands
+    /// after the last item is not an interruption.
+    pub interrupt: Option<Interrupt>,
+    /// Number of `Some` entries in [`MapReport::results`].
+    pub completed: usize,
+    /// Number of requested items.
+    pub total: usize,
+}
+
+impl<R, E> MapReport<R, E> {
+    /// Collapses the report into the classic `Result`: item errors and
+    /// panics win over interrupts (both report the earliest failure a
+    /// serial loop would have hit); an interrupt with no failure maps to
+    /// [`ExecError::Cancelled`] / [`ExecError::DeadlineExceeded`]; a
+    /// clean, complete run yields the results in index order.
+    pub fn into_result(self) -> Result<Vec<R>, ExecError<E>> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        match self.interrupt {
+            Some(Interrupt::Cancelled) => Err(ExecError::Cancelled {
+                completed: self.completed,
+                total: self.total,
+            }),
+            Some(Interrupt::DeadlineExceeded) => Err(ExecError::DeadlineExceeded {
+                completed: self.completed,
+                total: self.total,
+            }),
+            None => Ok(self
+                .results
+                .into_iter()
+                .map(|slot| slot.expect("complete un-failed run has every result"))
+                .collect()),
+        }
+    }
+}
+
+/// How a single item finished inside the controlled engine.
+enum ItemOutcome<R, E> {
+    Ok(R),
+    Err(E),
+    Panic(String),
+}
+
+/// Renders a caught panic payload for [`ExecError::WorkerPanic`].
+fn panic_payload_string(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f(index)` for every index in `indices` under `control`, with the
+/// same chunk queue, deterministic reduction, and trace affinity as
+/// [`try_map_n`] — plus cancellation, deadline enforcement, and per-item
+/// panic isolation.
+///
+/// `indices` is the caller's index space (e.g. the trials still missing
+/// from a checkpoint); results align positionally with it. The earliest
+/// failure is judged by position in `indices`, so pass indices in
+/// ascending order to preserve the serial-loop error contract.
+///
+/// Control signals are checked before every chunk claim (every item on
+/// the serial path); a tripped signal stops further claims but never
+/// abandons an item mid-evaluation. Panics in `f` are caught per item and
+/// surfaced as [`ExecError::WorkerPanic`] while sibling results are kept.
+pub fn run_indices<R, E, F>(
+    indices: &[usize],
+    threads: usize,
+    control: &RunControl,
+    f: F,
+) -> MapReport<R, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    let total = indices.len();
+    let threads = resolve_threads(threads).min(total.max(1));
+    let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    let mut failure: Option<(usize, ExecError<E>)> = None;
+
+    if threads <= 1 {
+        // Serial path: per-item control checks, stop at the first failure
+        // exactly like the legacy serial loop.
+        for (position, &index) in indices.iter().enumerate() {
+            if control.interrupted().is_some() {
+                break;
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(index))) {
+                Ok(Ok(result)) => {
+                    results[position] = Some(result);
+                    if let Some(token) = &control.cancel {
+                        token.note_completed(1);
+                    }
+                }
+                Ok(Err(error)) => {
+                    failure = Some((position, ExecError::Item { index, error }));
+                    break;
+                }
+                Err(payload) => {
+                    failure = Some((
+                        position,
+                        ExecError::WorkerPanic {
+                            index,
+                            payload: panic_payload_string(payload),
+                        },
+                    ));
+                    break;
+                }
+            }
+        }
+    } else {
+        let parent = trace::current_span();
+        let lane_base = trace::reserve_lanes(threads as u64);
+        let chunk = total.div_ceil(threads * CHUNKS_PER_WORKER).max(1);
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, ItemOutcome<R, E>)>> =
+            Mutex::new(Vec::with_capacity(total));
+
+        let f_ref = &f;
+        let cursor_ref = &cursor;
+        let collected_ref = &collected;
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                scope.spawn(move || {
+                    trace::pin_lane(lane_base + worker as u64);
+                    let mut local: Vec<(usize, ItemOutcome<R, E>)> = Vec::new();
+                    loop {
+                        if control.interrupted().is_some() {
+                            break;
+                        }
+                        let start = cursor_ref.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= total {
+                            break;
+                        }
+                        let end = (start + chunk).min(total);
+                        let _chunk_span = trace::span_under(
+                            "exec.chunk",
+                            trace::Level::Chunk,
+                            (start / chunk) as i64,
+                            parent,
+                        );
+                        let mut chunk_completed = 0usize;
+                        for (position, &index) in
+                            indices.iter().enumerate().take(end).skip(start)
+                        {
+                            match catch_unwind(AssertUnwindSafe(|| f_ref(index))) {
+                                Ok(Ok(result)) => {
+                                    chunk_completed += 1;
+                                    local.push((position, ItemOutcome::Ok(result)));
+                                }
+                                Ok(Err(error)) => {
+                                    local.push((position, ItemOutcome::Err(error)));
+                                }
+                                Err(payload) => {
+                                    local.push((
+                                        position,
+                                        ItemOutcome::Panic(panic_payload_string(payload)),
+                                    ));
+                                }
+                            }
+                        }
+                        if let Some(token) = &control.cancel {
+                            token.note_completed(chunk_completed);
+                        }
+                    }
+                    collected_ref
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .extend(local);
+                });
+            }
+        });
+
+        let collected = collected
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (position, outcome) in collected {
+            match outcome {
+                ItemOutcome::Ok(result) => results[position] = Some(result),
+                ItemOutcome::Err(error) => {
+                    let candidate = ExecError::Item {
+                        index: indices[position],
+                        error,
+                    };
+                    if failure.as_ref().is_none_or(|(at, _)| position < *at) {
+                        failure = Some((position, candidate));
+                    }
+                }
+                ItemOutcome::Panic(payload) => {
+                    let candidate = ExecError::WorkerPanic {
+                        index: indices[position],
+                        payload,
+                    };
+                    if failure.as_ref().is_none_or(|(at, _)| position < *at) {
+                        failure = Some((position, candidate));
+                    }
+                }
+            }
+        }
+    }
+
+    let completed = results.iter().filter(|slot| slot.is_some()).count();
+    let error = failure.map(|(_, error)| error);
+    if matches!(error, Some(ExecError::WorkerPanic { .. })) {
+        EXEC_WORKER_PANICS.inc();
+        trace::instant("exec.worker_panic", trace::Level::Run, completed as f64);
+    }
+    // An interrupt only counts if it actually cut work short: a token
+    // that trips after the final item leaves the run complete.
+    let interrupt = match control.interrupted() {
+        Some(kind) if completed < total && error.is_none() => {
+            match kind {
+                Interrupt::Cancelled => {
+                    EXEC_CANCELLED.inc();
+                    trace::instant("exec.cancelled", trace::Level::Run, completed as f64);
+                }
+                Interrupt::DeadlineExceeded => {
+                    EXEC_DEADLINE_EXCEEDED.inc();
+                    trace::instant(
+                        "exec.deadline_exceeded",
+                        trace::Level::Run,
+                        completed as f64,
+                    );
+                }
+            }
+            Some(kind)
+        }
+        _ => None,
+    };
+
+    MapReport {
+        results,
+        error,
+        interrupt,
+        completed,
+        total,
+    }
+}
+
+/// Controlled [`try_map_n`]: runs `f(index)` for `0..n` under `control`
+/// and returns the results in index order, or the earliest typed failure.
+///
+/// # Errors
+///
+/// [`ExecError::Item`] for the earliest failing index,
+/// [`ExecError::WorkerPanic`] if a closure panicked, and
+/// [`ExecError::Cancelled`] / [`ExecError::DeadlineExceeded`] when the
+/// control plane cut the run short.
+pub fn try_map_n_controlled<R, E, F>(
+    n: usize,
+    threads: usize,
+    control: &RunControl,
+    f: F,
+) -> Result<Vec<R>, ExecError<E>>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    run_indices(&indices, threads, control, f).into_result()
+}
+
+/// Controlled [`try_map_slice`]: runs `f(index, &items[index])` over a
+/// slice under `control`. See [`try_map_n_controlled`].
+///
+/// # Errors
+///
+/// Same contract as [`try_map_n_controlled`].
+pub fn try_map_slice_controlled<T, R, E, F>(
+    items: &[T],
+    threads: usize,
+    control: &RunControl,
+    f: F,
+) -> Result<Vec<R>, ExecError<E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    try_map_n_controlled(items.len(), threads, control, |index| {
+        f(index, &items[index])
+    })
 }
 
 /// Runs `f(index)` for every index in `0..n` and returns the results in
@@ -331,6 +910,167 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_siblings_survive() {
+        for threads in [1, 2, 7] {
+            let report = run_indices::<usize, &str, _>(
+                &(0..24).collect::<Vec<_>>(),
+                threads,
+                &RunControl::new(),
+                |i| {
+                    if i == 9 {
+                        panic!("trial 9 exploded");
+                    }
+                    Ok(i * 2)
+                },
+            );
+            match &report.error {
+                Some(ExecError::WorkerPanic { index, payload }) => {
+                    assert_eq!(*index, 9, "threads={threads}");
+                    assert_eq!(payload, "trial 9 exploded", "threads={threads}");
+                }
+                other => panic!("expected WorkerPanic, got {other:?} (threads={threads})"),
+            }
+            if threads > 1 {
+                // Parallel runs keep evaluating: every sibling result is
+                // present despite the panic.
+                assert_eq!(report.completed, 23, "threads={threads}");
+                for (i, slot) in report.results.iter().enumerate() {
+                    if i == 9 {
+                        assert!(slot.is_none());
+                    } else {
+                        assert_eq!(*slot, Some(i * 2), "threads={threads}");
+                    }
+                }
+            } else {
+                // Serial stops at the failure, exactly like a plain loop.
+                assert_eq!(report.completed, 9);
+            }
+            assert!(report.interrupt.is_none());
+        }
+    }
+
+    #[test]
+    fn budget_token_cancels_mid_run_and_reports_completed() {
+        for threads in [1, 2, 7] {
+            let token = CancelToken::after_items(5);
+            let control = RunControl::with_cancel(token.clone());
+            let report =
+                run_indices::<usize, Infallible, _>(&(0..64).collect::<Vec<_>>(), threads, &control, Ok);
+            assert!(token.is_cancelled(), "threads={threads}");
+            assert_eq!(report.interrupt, Some(Interrupt::Cancelled), "threads={threads}");
+            assert!(report.completed >= 5, "threads={threads}");
+            assert!(report.completed < 64, "threads={threads}");
+            // Everything that completed is reported.
+            assert_eq!(
+                report.results.iter().filter(|s| s.is_some()).count(),
+                report.completed
+            );
+            match report.into_result() {
+                Err(ExecError::Cancelled { completed, total: 64 }) if completed < 64 => {}
+                other => panic!("expected Cancelled, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_after_last_item_is_not_an_interrupt() {
+        let token = CancelToken::after_items(8);
+        let control = RunControl::with_cancel(token.clone());
+        let report =
+            run_indices::<usize, Infallible, _>(&(0..8).collect::<Vec<_>>(), 1, &control, Ok);
+        assert!(token.is_cancelled());
+        assert!(report.interrupt.is_none());
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.into_result().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_run_before_work() {
+        for threads in [1, 4] {
+            let control = RunControl::with_deadline(Deadline::after_millis(0));
+            std::thread::sleep(Duration::from_millis(2));
+            let evaluated = AtomicUsize::new(0);
+            let report = run_indices::<usize, Infallible, _>(
+                &(0..32).collect::<Vec<_>>(),
+                threads,
+                &control,
+                |i| {
+                    evaluated.fetch_add(1, Ordering::Relaxed);
+                    Ok(i)
+                },
+            );
+            assert_eq!(report.interrupt, Some(Interrupt::DeadlineExceeded));
+            assert_eq!(report.completed, 0, "threads={threads}");
+            assert_eq!(evaluated.load(Ordering::Relaxed), 0, "threads={threads}");
+            match report.into_result() {
+                Err(ExecError::DeadlineExceeded { completed: 0, total: 32 }) => {}
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_map_matches_legacy_map_without_control() {
+        let legacy: Vec<usize> = map_n(103, 7, |i| i * 3 + 1);
+        let controlled =
+            try_map_n_controlled::<usize, Infallible, _>(103, 7, &RunControl::new(), |i| {
+                Ok(i * 3 + 1)
+            })
+            .unwrap();
+        assert_eq!(legacy, controlled);
+    }
+
+    #[test]
+    fn controlled_earliest_error_wins() {
+        for threads in [1, 2, 7] {
+            let err = try_map_n_controlled::<usize, String, _>(
+                16,
+                threads,
+                &RunControl::new(),
+                |i| {
+                    if i == 5 || i == 11 {
+                        Err(format!("item {i} failed"))
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                ExecError::Item {
+                    index: 5,
+                    error: "item 5 failed".to_string()
+                },
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn controlled_slice_passes_items() {
+        let items = ["a", "bb", "ccc"];
+        let out = try_map_slice_controlled::<_, _, Infallible, _>(
+            &items,
+            2,
+            &RunControl::new(),
+            |i, s| Ok((i, s.len())),
+        )
+        .unwrap();
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn deadline_remaining_and_expiry() {
+        let deadline = Deadline::after(Duration::from_secs(3600));
+        assert!(!deadline.expired());
+        assert!(deadline.remaining() > Duration::from_secs(3500));
+        let past = Deadline::at(Instant::now());
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
     }
 
     #[test]

@@ -28,9 +28,14 @@ use mnsim_tech::units::{Resistance, Voltage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use std::fmt::Write as _;
+
+use mnsim_obs::JsonValue;
+
+use crate::checkpoint::{self, CheckpointPolicy};
 use crate::config::Config;
-use crate::error::CoreError;
-use crate::exec::{self, ExecOptions};
+use crate::error::{ConfigError, CoreError};
+use crate::exec::{self, ExecError, ExecOptions, Interrupt, RunControl};
 use crate::simulate::{simulate_with, Report};
 
 static FAULT_CAMPAIGNS: obs::Counter = obs::Counter::new("core.fault.campaigns");
@@ -77,6 +82,14 @@ pub struct FaultConfig {
     /// warm-started CG. The default of `1` reproduces the single-read
     /// campaign bit for bit.
     pub inputs_per_trial: usize,
+    /// Checkpoint policy: when set, the campaign persists its completed
+    /// trials to [`CheckpointPolicy::path`] every
+    /// [`CheckpointPolicy::every_n`] trials and once more when the run
+    /// stops, and **resumes** from that file if it already exists (the
+    /// file must have been written by the same campaign — config, rates,
+    /// seed, and trial count are fingerprinted). A resumed campaign is
+    /// bit-identical to an uninterrupted one.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for FaultConfig {
@@ -89,6 +102,7 @@ impl Default for FaultConfig {
             retire_threshold: 0.25,
             threads: 0,
             inputs_per_trial: 1,
+            checkpoint: None,
         }
     }
 }
@@ -98,27 +112,47 @@ impl FaultConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] for a zero trial count or an
-    /// out-of-range retirement threshold, and propagates
-    /// [`FaultRates::validate`] failures.
+    /// Returns [`CoreError::Config`] listing **every** invalid field as a
+    /// typed [`ConfigError`] (`trials == 0`, an out-of-range retirement
+    /// threshold, zero reads per trial, a degenerate checkpoint path),
+    /// and propagates [`FaultRates::validate`] failures as
+    /// [`CoreError::Tech`].
     pub fn validate(&self) -> Result<(), CoreError> {
+        let mut errors = Vec::new();
         if self.trials == 0 {
-            return Err(CoreError::InvalidConfig {
-                parameter: "fault_trials",
-                reason: "at least one Monte-Carlo trial is required".into(),
+            errors.push(ConfigError {
+                field_path: "FaultConfig.trials".into(),
+                reason: "a campaign of zero Monte-Carlo trials would produce a degenerate \
+                         all-zero summary"
+                    .into(),
+                allowed: ">= 1".into(),
             });
         }
         if !(0.0..=1.0).contains(&self.retire_threshold) {
-            return Err(CoreError::InvalidConfig {
-                parameter: "retire_threshold",
-                reason: format!("{} is not a fraction in [0, 1]", self.retire_threshold),
+            errors.push(ConfigError {
+                field_path: "FaultConfig.retire_threshold".into(),
+                reason: format!("{} is not a fraction", self.retire_threshold),
+                allowed: "0.0..=1.0".into(),
             });
         }
         if self.inputs_per_trial == 0 {
-            return Err(CoreError::InvalidConfig {
-                parameter: "inputs_per_trial",
+            errors.push(ConfigError {
+                field_path: "FaultConfig.inputs_per_trial".into(),
                 reason: "each trial needs at least one read vector".into(),
+                allowed: ">= 1".into(),
             });
+        }
+        if let Some(policy) = &self.checkpoint {
+            if policy.path.is_empty() {
+                errors.push(ConfigError {
+                    field_path: "FaultConfig.checkpoint.path".into(),
+                    reason: "checkpoint path is empty".into(),
+                    allowed: "a writable file path".into(),
+                });
+            }
+        }
+        if !errors.is_empty() {
+            return Err(CoreError::Config { errors });
         }
         self.rates.validate()?;
         Ok(())
@@ -358,6 +392,32 @@ pub fn simulate_with_faults_with(
     fault_config: &FaultConfig,
     options: &ExecOptions,
 ) -> Result<Report, CoreError> {
+    simulate_with_faults_controlled(config, fault_config, options, &RunControl::default())
+}
+
+/// [`simulate_with_faults_with`] under a campaign control plane: the run
+/// observes `control`'s [`CancelToken`](crate::exec::CancelToken) and
+/// [`Deadline`](crate::exec::Deadline) at chunk boundaries, and honors
+/// [`FaultConfig::checkpoint`] — persisting completed trials as it goes
+/// and resuming from an existing checkpoint file.
+///
+/// One panicking trial no longer poisons the campaign: it surfaces as
+/// [`CoreError::WorkerPanic`] after the sibling trials' results have been
+/// collected (and checkpointed, when a policy is set).
+///
+/// # Errors
+///
+/// Everything [`simulate_with_faults_with`] returns, plus
+/// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] when
+/// `control` cut the run short (carrying the checkpoint path when one was
+/// written), [`CoreError::WorkerPanic`] for a panicking trial, and
+/// [`CoreError::Checkpoint`] for unusable or mismatched checkpoint files.
+pub fn simulate_with_faults_controlled(
+    config: &Config,
+    fault_config: &FaultConfig,
+    options: &ExecOptions,
+    control: &RunControl,
+) -> Result<Report, CoreError> {
     let _span = CAMPAIGN_SPAN.enter();
     let campaign_span = trace::span("fault.campaign", trace::Level::Run);
     FAULT_CAMPAIGNS.inc();
@@ -444,13 +504,113 @@ pub fn simulate_with_faults_with(
         clean_extra_outputs: &clean_extra_outputs,
         trace_parent: campaign_span.id(),
     };
-    // Every trial runs on the shared engine: work-stealing chunks, ordered
-    // collection, earliest-trial error semantics.
-    let outcomes = exec::try_map_n(fault_config.trials, options.threads, |trial| {
-        run_trial(&context, trial)
-    })?;
+    // Per-trial result slots, filled from a resumed checkpoint first and
+    // then by the controlled engine. Trials are seed-independent, so any
+    // completion order merges into the same canonical-order reduction.
+    let trials = fault_config.trials;
+    let mut slots: Vec<Option<TrialOutcome>> = (0..trials).map(|_| None).collect();
+    let fingerprint = campaign_fingerprint(config, fault_config);
 
-    // Reduce in trial order so sums are bit-identical to the serial loop.
+    if let Some(policy) = &fault_config.checkpoint {
+        if std::path::Path::new(&policy.path).exists() {
+            let resumed = load_fault_checkpoint(&policy.path, fingerprint, trials, &mut slots)?;
+            checkpoint::note_resumed(resumed);
+        }
+    }
+
+    // Waves: with a checkpoint policy, run `every_n` missing trials at a
+    // time and persist after each wave; without one, a single wave covers
+    // everything (the exact legacy open-loop run).
+    let wave_len = fault_config
+        .checkpoint
+        .as_ref()
+        .map_or(usize::MAX, |policy| policy.every_n.max(1));
+    let remaining: Vec<usize> = (0..trials).filter(|&t| slots[t].is_none()).collect();
+    let mut failure: Option<ExecError<CoreError>> = None;
+    let mut interrupt = None;
+
+    for wave in remaining.chunks(wave_len.min(remaining.len().max(1))) {
+        if control.interrupted().is_some() && interrupt.is_none() {
+            interrupt = control.interrupted();
+            // An interrupted run must always leave its checkpoint on disk,
+            // even when the control plane tripped before the first wave.
+            if let Some(policy) = &fault_config.checkpoint {
+                write_fault_checkpoint(policy, fingerprint, fault_config, &slots)?;
+            }
+            break;
+        }
+        let wave_report =
+            exec::run_indices(wave, options.threads, control, |trial| run_trial(&context, trial));
+        for (position, slot) in wave_report.results.into_iter().enumerate() {
+            if let Some(outcome) = slot {
+                slots[wave[position]] = Some(outcome);
+            }
+        }
+        if let Some(policy) = &fault_config.checkpoint {
+            write_fault_checkpoint(policy, fingerprint, fault_config, &slots)?;
+        }
+        if wave_report.error.is_some() {
+            failure = wave_report.error;
+            break;
+        }
+        if wave_report.interrupt.is_some() {
+            interrupt = wave_report.interrupt;
+            break;
+        }
+    }
+
+    let completed = slots.iter().filter(|slot| slot.is_some()).count();
+    let checkpoint_path = fault_config
+        .checkpoint
+        .as_ref()
+        .map(|policy| policy.path.clone());
+    if let Some(error) = failure {
+        return Err(match error {
+            ExecError::Item { error, .. } => error,
+            ExecError::WorkerPanic { index, payload } => CoreError::WorkerPanic { index, payload },
+            ExecError::Cancelled { .. } => CoreError::Cancelled {
+                completed,
+                total: trials,
+                checkpoint: checkpoint_path,
+            },
+            ExecError::DeadlineExceeded { .. } => CoreError::DeadlineExceeded {
+                completed,
+                total: trials,
+                checkpoint: checkpoint_path,
+            },
+        });
+    }
+    if completed < trials {
+        // The control plane cut the run short (possibly between waves).
+        let kind = interrupt
+            .or_else(|| control.interrupted())
+            .unwrap_or(Interrupt::Cancelled);
+        return Err(match kind {
+            Interrupt::Cancelled => CoreError::Cancelled {
+                completed,
+                total: trials,
+                checkpoint: checkpoint_path,
+            },
+            Interrupt::DeadlineExceeded => CoreError::DeadlineExceeded {
+                completed,
+                total: trials,
+                checkpoint: checkpoint_path,
+            },
+        });
+    }
+
+    let outcomes: Vec<TrialOutcome> = slots
+        .into_iter()
+        .map(|slot| slot.expect("complete campaign has every trial outcome"))
+        .collect();
+    report.faults = Some(reduce_outcomes(fault_config, &outcomes));
+    Ok(report)
+}
+
+/// Reduces per-trial outcomes — **in trial order** — into the campaign
+/// summary. Canonical order makes every aggregate bit-identical for any
+/// thread count, wave size, or resume pattern.
+fn reduce_outcomes(fault_config: &FaultConfig, outcomes: &[TrialOutcome]) -> FaultSummary {
     let mut retired_trials = 0usize;
     let mut spare_rows_used = 0usize;
     let mut solves = 0usize;
@@ -460,7 +620,7 @@ pub fn simulate_with_faults_with(
     let mut weight_damage_sum = 0.0f64;
     let mut damage_samples = 0usize;
 
-    for outcome in &outcomes {
+    for outcome in outcomes {
         spare_rows_used += outcome.spare_rows_used;
         if outcome.retired {
             retired_trials += 1;
@@ -491,7 +651,7 @@ pub fn simulate_with_faults_with(
         deviation_samples[index - 1]
     };
 
-    report.faults = Some(FaultSummary {
+    FaultSummary {
         trials: fault_config.trials,
         yield_fraction: 1.0 - retired_trials as f64 / fault_config.trials as f64,
         retired_trials,
@@ -506,8 +666,181 @@ pub fn simulate_with_faults_with(
         } else {
             weight_damage_sum / damage_samples as f64
         },
-    });
-    Ok(report)
+    }
+}
+
+/// Fingerprints the campaign identity: everything that determines the
+/// per-trial outcomes (network config, rates, trial count, master seed,
+/// repair parameters) and nothing that doesn't (thread count, the
+/// checkpoint policy itself).
+fn campaign_fingerprint(config: &Config, fault_config: &FaultConfig) -> u64 {
+    let canonical = format!(
+        "fault_mc|config={config:?}|rates={rates:?}|trials={trials}|seed={seed:#018x}|\
+         spare_rows={spare}|retire_threshold={retire:?}|inputs_per_trial={reads}",
+        rates = fault_config.rates,
+        trials = fault_config.trials,
+        seed = fault_config.seed,
+        spare = fault_config.spare_rows,
+        retire = fault_config.retire_threshold,
+        reads = fault_config.inputs_per_trial,
+    );
+    checkpoint::fnv64(canonical.as_bytes())
+}
+
+/// Serializes the completed-trial slots into the versioned checkpoint
+/// format and writes them atomically.
+fn write_fault_checkpoint(
+    policy: &CheckpointPolicy,
+    fingerprint: u64,
+    fault_config: &FaultConfig,
+    slots: &[Option<TrialOutcome>],
+) -> Result<(), CoreError> {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"schema\": ");
+    let _ = write!(out, "{}", checkpoint::SCHEMA_VERSION);
+    out.push_str(",\n  \"kind\": \"fault_mc\",\n  \"fingerprint\": ");
+    checkpoint::push_json_string(&mut out, &checkpoint::hex_u64(fingerprint));
+    out.push_str(",\n  \"seed\": ");
+    checkpoint::push_json_string(&mut out, &checkpoint::hex_u64(fault_config.seed));
+    out.push_str(",\n  \"trials\": ");
+    let _ = write!(out, "{}", fault_config.trials);
+    out.push_str(",\n  \"completed\": [");
+    let mut first = true;
+    for (trial, slot) in slots.iter().enumerate() {
+        let Some(outcome) = slot else { continue };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    {\"trial\": ");
+        let _ = write!(out, "{trial}");
+        out.push_str(", \"spare_rows_used\": ");
+        let _ = write!(out, "{}", outcome.spare_rows_used);
+        out.push_str(", \"retired\": ");
+        out.push_str(if outcome.retired { "true" } else { "false" });
+        out.push_str(", \"solve\": ");
+        match &outcome.solve {
+            None => out.push_str("null"),
+            Some(solve) => {
+                out.push_str("{\"fallback\": ");
+                out.push_str(if solve.fallback { "true" } else { "false" });
+                out.push_str(", \"kcl_residual\": ");
+                checkpoint::push_json_f64(&mut out, solve.kcl_residual);
+                out.push_str(", \"weight_damage\": ");
+                checkpoint::push_json_f64(&mut out, solve.weight_damage);
+                out.push_str(", \"deviations\": [");
+                for (i, deviation) in solve.deviations.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    checkpoint::push_json_f64(&mut out, *deviation);
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push('}');
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    checkpoint::write_atomic(&policy.path, &out)?;
+    checkpoint::note_written(slots.iter().filter(|slot| slot.is_some()).count());
+    Ok(())
+}
+
+/// Loads a fault-campaign checkpoint into the trial slots, verifying it
+/// belongs to this exact campaign. Returns the number of trials resumed.
+fn load_fault_checkpoint(
+    path: &str,
+    fingerprint: u64,
+    trials: usize,
+    slots: &mut [Option<TrialOutcome>],
+) -> Result<usize, CoreError> {
+    let malformed = |reason: String| CoreError::Checkpoint {
+        path: path.to_string(),
+        reason,
+    };
+    let value = checkpoint::read_json(path)?;
+    checkpoint::check_header(path, &value, "fault_mc")?;
+    let found = checkpoint::require_hex_u64(path, &value, "fingerprint")?;
+    if found != fingerprint {
+        return Err(malformed(format!(
+            "fingerprint {} does not match this campaign ({}); refusing to resume a \
+             different config/seed/trial-count",
+            checkpoint::hex_u64(found),
+            checkpoint::hex_u64(fingerprint),
+        )));
+    }
+    let stored_trials = value.get("trials").and_then(JsonValue::as_f64);
+    if stored_trials != Some(trials as f64) {
+        return Err(malformed(format!(
+            "trial count {stored_trials:?} does not match campaign ({trials})"
+        )));
+    }
+    let completed = value
+        .get("completed")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| malformed("missing `completed` array".into()))?;
+    let mut resumed = 0usize;
+    for record in completed {
+        let trial = record
+            .get("trial")
+            .and_then(JsonValue::as_f64)
+            .filter(|t| t.fract() == 0.0 && *t >= 0.0 && *t < trials as f64)
+            .ok_or_else(|| malformed("completed record with missing/out-of-range `trial`".into()))?
+            as usize;
+        let spare_rows_used = record
+            .get("spare_rows_used")
+            .and_then(JsonValue::as_f64)
+            .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+            .ok_or_else(|| malformed(format!("trial {trial}: bad `spare_rows_used`")))?
+            as usize;
+        let retired = match record.get("retired") {
+            Some(JsonValue::Bool(b)) => *b,
+            _ => return Err(malformed(format!("trial {trial}: bad `retired`"))),
+        };
+        let solve = match record.get("solve") {
+            None | Some(JsonValue::Null) => None,
+            Some(solve) => {
+                let fallback = match solve.get("fallback") {
+                    Some(JsonValue::Bool(b)) => *b,
+                    _ => return Err(malformed(format!("trial {trial}: bad `fallback`"))),
+                };
+                let kcl_residual = solve
+                    .get("kcl_residual")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| malformed(format!("trial {trial}: bad `kcl_residual`")))?;
+                let weight_damage = solve
+                    .get("weight_damage")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| malformed(format!("trial {trial}: bad `weight_damage`")))?;
+                let deviations = solve
+                    .get("deviations")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| malformed(format!("trial {trial}: bad `deviations`")))?
+                    .iter()
+                    .map(|d| {
+                        d.as_f64()
+                            .ok_or_else(|| malformed(format!("trial {trial}: bad deviation")))
+                    })
+                    .collect::<Result<Vec<f64>, CoreError>>()?;
+                Some(SolveOutcome {
+                    fallback,
+                    kcl_residual,
+                    weight_damage,
+                    deviations,
+                })
+            }
+        };
+        slots[trial] = Some(TrialOutcome {
+            spare_rows_used,
+            retired,
+            solve,
+        });
+        resumed += 1;
+    }
+    Ok(resumed)
 }
 
 #[cfg(test)]

@@ -13,7 +13,10 @@
 //! * [`accuracy`] — the behavior-level computing-accuracy model (§VI),
 //! * [`mod@simulate`] — the end-to-end simulation flow (§IV, Fig. 3),
 //! * [`exec`] — the shared worker-pool execution engine
-//!   ([`ExecOptions`], deterministic parallel map/reduce),
+//!   ([`ExecOptions`], deterministic parallel map/reduce, cooperative
+//!   cancellation/deadlines and per-item panic isolation),
+//! * [`checkpoint`] — deterministic checkpoint/resume for long campaigns
+//!   ([`CheckpointPolicy`]),
 //! * [`simulator`] — the [`Simulator`] session facade over simulate,
 //!   fault campaigns, DSE and validation,
 //! * [`dse`] — design-space exploration by exhaustive traversal (§VII),
@@ -49,6 +52,7 @@
 
 pub mod accuracy;
 pub mod arch;
+pub mod checkpoint;
 pub mod circuit_forward;
 pub mod config;
 pub mod custom;
@@ -68,12 +72,13 @@ pub mod simulator;
 pub mod training;
 pub mod validate;
 
+pub use checkpoint::CheckpointPolicy;
 pub use circuit_forward::CircuitLayer;
 pub use config::{Config, NetworkType, Precision, SignedMapping, WeightPolarity};
 pub use error::{ConfigError, CoreError};
-pub use exec::ExecOptions;
+pub use exec::{CancelToken, Deadline, ExecError, ExecOptions, RunControl};
 #[allow(deprecated)]
 pub use fault_sim::{simulate_with_faults, FaultConfig, FaultSummary};
 pub use perf::ModulePerf;
 pub use simulate::{simulate, simulate_with, Report};
-pub use simulator::Simulator;
+pub use simulator::{RunHandle, Simulator};

@@ -26,11 +26,12 @@
 use mnsim_obs as obs;
 use mnsim_obs::trace;
 
+use crate::checkpoint::CheckpointPolicy;
 use crate::config::Config;
 use crate::dse::{explore_with, Constraints, DesignSpace, DseResult};
 use crate::error::CoreError;
-use crate::exec::ExecOptions;
-use crate::fault_sim::{simulate_with_faults_with, FaultConfig};
+use crate::exec::{CancelToken, Deadline, ExecOptions, RunControl};
+use crate::fault_sim::{simulate_with_faults_controlled, FaultConfig};
 use crate::simulate::{simulate_with, Report};
 use crate::validate::{validate_against_circuit_with, ValidationRow};
 
@@ -45,6 +46,8 @@ pub struct Simulator {
     config: Config,
     options: ExecOptions,
     faults: Option<FaultConfig>,
+    deadline: Option<Deadline>,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Simulator {
@@ -55,6 +58,8 @@ impl Simulator {
             config,
             options: ExecOptions::default(),
             faults: None,
+            deadline: None,
+            checkpoint: None,
         }
     }
 
@@ -113,6 +118,37 @@ impl Simulator {
         self
     }
 
+    /// Bounds every subsequent [`Simulator::run`] /
+    /// [`Simulator::run_cancellable`] by `deadline`. Deadlines are
+    /// absolute instants: the clock runs from when the deadline value was
+    /// created, not from when the run starts.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds the run by a deadline `millis` milliseconds **from now**
+    /// (the moment this builder is called) — the `--deadline-ms` CLI
+    /// convention.
+    #[must_use]
+    pub fn deadline_ms(mut self, millis: u64) -> Self {
+        self.deadline = Some(Deadline::after_millis(millis));
+        self
+    }
+
+    /// Attaches a checkpoint policy to the session's fault campaign: the
+    /// campaign persists completed trials to the policy's path as it runs
+    /// and resumes from that file when it already exists. Order-independent
+    /// with [`Simulator::faults`] (the policy overrides one already set on
+    /// the attached [`FaultConfig`]); has no effect on clean (fault-less)
+    /// runs.
+    #[must_use]
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
     /// The session's configuration.
     pub fn config(&self) -> &Config {
         &self.config
@@ -136,13 +172,40 @@ impl Simulator {
     /// Returns configuration validation errors, and fault-campaign errors
     /// when a campaign is attached.
     pub fn run(&self) -> Result<Report, CoreError> {
+        self.run_controlled(&RunControl::default())
+    }
+
+    /// [`Simulator::run`] under an explicit campaign control plane: the
+    /// fault-campaign trial loop observes `control`'s cancellation token
+    /// and deadline at chunk boundaries (a session deadline from
+    /// [`Simulator::deadline`] fills in when `control` carries none), and
+    /// the session's [`CheckpointPolicy`] is honored.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulator::run`] returns, plus
+    /// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] when the
+    /// control plane cut the campaign short and [`CoreError::WorkerPanic`]
+    /// for a panicking trial.
+    pub fn run_controlled(&self, control: &RunControl) -> Result<Report, CoreError> {
+        let mut control = control.clone();
+        if control.deadline.is_none() {
+            control.deadline = self.deadline;
+        }
         // Sessions open before the run so they observe all of it; metrics
         // snapshot while live, trace consumed by `finish`.
         let metrics_session = self.options.metrics.then(obs::session);
         let trace_session = self.options.trace.then(trace::session);
         let mut report = match &self.faults {
             Some(fault_config) => {
-                simulate_with_faults_with(&self.config, fault_config, &self.options)?
+                let campaign = match &self.checkpoint {
+                    Some(policy) => FaultConfig {
+                        checkpoint: Some(policy.clone()),
+                        ..fault_config.clone()
+                    },
+                    None => fault_config.clone(),
+                };
+                simulate_with_faults_controlled(&self.config, &campaign, &self.options, &control)?
             }
             None => simulate_with(&self.config, &self.options)?,
         };
@@ -153,6 +216,19 @@ impl Simulator {
             report = report.with_trace(session.finish().summary());
         }
         Ok(report)
+    }
+
+    /// Starts the run on a background thread and returns a [`RunHandle`]
+    /// with a fresh [`CancelToken`] wired into the campaign: call
+    /// [`RunHandle::cancel`] to stop it cooperatively (completed trials
+    /// are checkpointed when a policy is set), then [`RunHandle::join`]
+    /// for the outcome.
+    pub fn run_cancellable(&self) -> RunHandle {
+        let token = CancelToken::new();
+        let control = RunControl::with_cancel(token.clone());
+        let session = self.clone();
+        let thread = std::thread::spawn(move || session.run_controlled(&control));
+        RunHandle { token, thread }
     }
 
     /// Explores `space` around this session's configuration on the
@@ -195,9 +271,48 @@ impl Simulator {
     }
 }
 
+/// A cancellable, joinable in-flight run started by
+/// [`Simulator::run_cancellable`].
+#[derive(Debug)]
+pub struct RunHandle {
+    token: CancelToken,
+    thread: std::thread::JoinHandle<Result<Report, CoreError>>,
+}
+
+impl RunHandle {
+    /// Requests cooperative cancellation; the campaign stops at the next
+    /// chunk boundary (completed trials are checkpointed when a policy is
+    /// set) and [`RunHandle::join`] returns [`CoreError::Cancelled`].
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// The run's cancellation token (cloneable; e.g. for a signal
+    /// handler).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Whether the run has finished (successfully or not); [`RunHandle::join`]
+    /// will not block once this is `true`.
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Waits for the run and returns its outcome. A panic on the run
+    /// thread outside the panic-isolated trial loop is propagated.
+    pub fn join(self) -> Result<Report, CoreError> {
+        match self.thread.join() {
+            Ok(outcome) => outcome,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault_sim::simulate_with_faults_with;
     use crate::simulate::simulate;
 
     #[test]
@@ -243,6 +358,55 @@ mod tests {
         let trace = report.trace.expect("trace attached");
         assert!(trace.events > 0);
         assert!(trace.spans.contains_key("simulate"));
+    }
+
+    #[test]
+    fn run_cancellable_completes_and_matches_run() {
+        let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+        let sim = Simulator::new(config).threads(2).faults(FaultConfig {
+            trials: 3,
+            ..FaultConfig::default()
+        });
+        let direct = sim.run().unwrap();
+        let handle = sim.run_cancellable();
+        let background = handle.join().unwrap();
+        assert_eq!(direct, background);
+    }
+
+    #[test]
+    fn cancelled_run_reports_typed_error() {
+        let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+        let sim = Simulator::new(config).threads(1).faults(FaultConfig {
+            trials: 64,
+            ..FaultConfig::default()
+        });
+        // Budget token: deterministic mid-campaign cancellation.
+        let token = CancelToken::after_items(2);
+        let control = RunControl::with_cancel(token);
+        match sim.run_controlled(&control) {
+            Err(CoreError::Cancelled {
+                completed,
+                total: 64,
+                checkpoint: None,
+            }) => assert!(completed < 64, "completed={completed}"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_deadline_bounds_the_campaign() {
+        let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+        let sim = Simulator::new(config)
+            .threads(1)
+            .deadline(Deadline::at(std::time::Instant::now()))
+            .faults(FaultConfig {
+                trials: 16,
+                ..FaultConfig::default()
+            });
+        match sim.run() {
+            Err(CoreError::DeadlineExceeded { completed: 0, total: 16, .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
     }
 
     #[test]

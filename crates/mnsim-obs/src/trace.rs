@@ -805,6 +805,83 @@ impl Trace {
             dropped: self.dropped,
         }
     }
+
+    /// Per-level **wall-clock** self time: the union of every span's
+    /// self-time intervals (its own duration minus its children's
+    /// intervals), merged across lanes, in nanoseconds per
+    /// [`Level::as_str`] key.
+    ///
+    /// Contrast with [`TraceSummary::levels`]' `self_ns`, which *sums*
+    /// self time over spans — on a parallel run N workers busy for 1 ms
+    /// each sum to N ms of CPU time but only ~1 ms of wall time here.
+    /// For any level, `wall ≤ summed self_ns`, with equality on a serial
+    /// (non-overlapping) trace.
+    pub fn level_self_wall_ns(&self) -> BTreeMap<String, u64> {
+        let nodes = self.nodes();
+        let mut child_intervals: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+        for node in nodes.values() {
+            child_intervals
+                .entry(node.parent)
+                .or_default()
+                .push((node.start_ns, node.end_ns));
+        }
+        let mut per_level: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+        for (id, node) in &nodes {
+            let children = child_intervals.get(id).map_or(&[][..], Vec::as_slice);
+            let mut own = subtract_intervals((node.start_ns, node.end_ns), children);
+            per_level
+                .entry(node.level.as_str().to_string())
+                .or_default()
+                .append(&mut own);
+        }
+        per_level
+            .into_iter()
+            .map(|(level, intervals)| (level, union_ns(intervals)))
+            .collect()
+    }
+}
+
+/// `span` minus the union of `children`, as a list of disjoint intervals.
+fn subtract_intervals(span: (u64, u64), children: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut clipped: Vec<(u64, u64)> = children
+        .iter()
+        .map(|&(s, e)| (s.max(span.0), e.min(span.1)))
+        .filter(|&(s, e)| s < e)
+        .collect();
+    clipped.sort_unstable();
+    let mut out = Vec::new();
+    let mut cursor = span.0;
+    for (s, e) in clipped {
+        if s > cursor {
+            out.push((cursor, s));
+        }
+        cursor = cursor.max(e);
+    }
+    if cursor < span.1 {
+        out.push((cursor, span.1));
+    }
+    out
+}
+
+/// Total length of the union of `intervals`, in nanoseconds.
+fn union_ns(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut total = 0u64;
+    let mut open: Option<(u64, u64)> = None;
+    for (s, e) in intervals {
+        match open {
+            Some((os, oe)) if s <= oe => open = Some((os, oe.max(e))),
+            Some((os, oe)) => {
+                total += oe - os;
+                open = Some((s, e));
+            }
+            None => open = Some((s, e)),
+        }
+    }
+    if let Some((os, oe)) = open {
+        total += oe - os;
+    }
+    total
 }
 
 fn push_record(out: &mut String, first: &mut bool, write: impl FnOnce(&mut String)) {
@@ -1199,6 +1276,57 @@ mod tests {
         let self_sum: u64 = summary.levels.values().map(|l| l.self_ns).sum();
         assert_eq!(self_sum, summary.root_ns);
         assert!(!summary.to_table().is_empty());
+    }
+
+    #[test]
+    fn serial_wall_equals_summed_self_time() {
+        let session = session();
+        {
+            let _run = span("run", Level::Run);
+            for i in 0..2 {
+                let _layer = span_at("layer", Level::Layer, i);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let trace = session.finish();
+        let wall = trace.level_self_wall_ns();
+        let summary = trace.summary();
+        // Sequential spans never overlap: the interval union degenerates to
+        // the plain sum for every level.
+        for (level, stats) in &summary.levels {
+            assert_eq!(wall[level], stats.self_ns, "level {level}");
+        }
+    }
+
+    #[test]
+    fn parallel_lanes_merge_to_less_wall_than_cpu() {
+        let session = session();
+        let parent_id;
+        {
+            let run = span("run", Level::Run);
+            parent_id = run.id();
+            std::thread::scope(|scope| {
+                for w in 0..3i64 {
+                    scope.spawn(move || {
+                        let _chunk = span_under("chunk", Level::Chunk, w, parent_id);
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    });
+                }
+            });
+        }
+        let trace = session.finish();
+        let wall = trace.level_self_wall_ns();
+        let summary = trace.summary();
+        let cpu = summary.levels["chunk"].self_ns;
+        // Three concurrent 20 ms spans: ~60 ms of summed (CPU) time but
+        // only ~20 ms of merged wall time.
+        assert!(wall["chunk"] <= cpu);
+        assert!(
+            wall["chunk"] < cpu - cpu / 3,
+            "expected overlap: wall {} !< cpu {}",
+            wall["chunk"],
+            cpu
+        );
     }
 
     #[test]

@@ -2,26 +2,43 @@
 //! yield, and solver-fallback behavior degrade gracefully.
 //!
 //! ```text
-//! cargo run --release --example fault_tolerance [-- --metrics <path>] [--trace <path>]
+//! cargo run --release --example fault_tolerance \
+//!     [-- --metrics <path>] [--trace <path>] \
+//!     [--checkpoint <dir>] [--deadline-ms <ms>]
 //! ```
 //!
 //! Each sweep point runs a seeded Monte-Carlo fault campaign on top of the
 //! clean behavior-level simulation: defect maps are drawn per trial,
 //! spare-row repair and bank retirement are applied, and the surviving
 //! arrays are re-solved at circuit level through the recovery ladder.
+//!
+//! With `--checkpoint <dir>` every sweep point persists completed trials
+//! to its own file under `dir` (one file per rate — each campaign has its
+//! own fingerprint), so an interrupted sweep resumes bit-identically on
+//! the next invocation. With `--deadline-ms <ms>` the whole sweep shares
+//! one wall-clock deadline; a point that hits it stops cooperatively and
+//! the example exits with a `deadline exceeded` error after checkpointing.
 
 use mnsim::core::report::{report_csv_row, CSV_HEADER};
 use mnsim::obs;
 use mnsim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (metrics_path, trace_path) = paths_from_args()?;
-    let session = metrics_path.as_ref().map(|_| obs::session());
-    let trace_session = trace_path.as_ref().map(|_| obs::trace::session());
+    let args = sweep_args()?;
+    let session = args.metrics.as_ref().map(|_| obs::session());
+    let trace_session = args.trace.as_ref().map(|_| obs::trace::session());
 
     let config = Config::fully_connected_mlp(&[128, 128])?;
     // One session, re-tuned per sweep point; trials fan out on all cores.
-    let simulator = Simulator::new(config).threads(0);
+    let mut simulator = Simulator::new(config).threads(0);
+    if let Some(millis) = args.deadline_ms {
+        // The deadline clock starts here and is shared by every sweep
+        // point — it bounds the whole example, not each campaign.
+        simulator = simulator.deadline(Deadline::after_millis(millis));
+    }
+    if let Some(dir) = &args.checkpoint_dir {
+        std::fs::create_dir_all(dir)?;
+    }
 
     println!("stuck-at rate sweep — {} trials per point\n", 8);
     println!(
@@ -42,7 +59,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 0xDEFEC7,
             ..FaultConfig::default()
         };
-        let report = simulator.clone().faults(fault_config).run()?;
+        let mut point = simulator.clone().faults(fault_config);
+        if let Some(dir) = &args.checkpoint_dir {
+            // One file per sweep point: the campaign fingerprint covers the
+            // fault rates, so points must not share a checkpoint.
+            let path = format!("{dir}/rate_{}.json", (rate * 1000.0).round() as u64);
+            point = point.checkpoint(CheckpointPolicy::new(path));
+        }
+        let report = point.run()?;
         let faults = report.faults.as_ref().expect("campaign ran");
         println!(
             "{:>10.3} {:>7.1}% {:>9.1}% {:>12.4} {:>12.4} {:>12.4}",
@@ -60,35 +84,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nCSV (fault columns are the last four):");
     println!("{csv}");
 
-    if let (Some(path), Some(trace_session)) = (trace_path, trace_session) {
+    if let (Some(path), Some(trace_session)) = (&args.trace, trace_session) {
         let trace = trace_session.finish();
-        std::fs::write(&path, trace.to_chrome_json())?;
+        std::fs::write(path, trace.to_chrome_json())?;
         eprint!("{}", trace.summary().to_table());
         eprintln!("trace written to {path}");
     }
-    if let Some(path) = metrics_path {
-        std::fs::write(&path, obs::snapshot().to_json())?;
+    if let Some(path) = &args.metrics {
+        std::fs::write(path, obs::snapshot().to_json())?;
         drop(session);
         eprintln!("metrics written to {path}");
     }
     Ok(())
 }
 
-/// Parses the optional `--metrics <path>` and `--trace <path>` arguments.
-fn paths_from_args() -> Result<(Option<String>, Option<String>), Box<dyn std::error::Error>> {
-    let mut metrics = None;
-    let mut trace = None;
+/// Parsed command-line arguments of the sweep.
+struct SweepArgs {
+    metrics: Option<String>,
+    trace: Option<String>,
+    checkpoint_dir: Option<String>,
+    deadline_ms: Option<u64>,
+}
+
+/// Parses the optional `--metrics`, `--trace`, `--checkpoint` and
+/// `--deadline-ms` arguments.
+fn sweep_args() -> Result<SweepArgs, Box<dyn std::error::Error>> {
+    let mut parsed = SweepArgs {
+        metrics: None,
+        trace: None,
+        checkpoint_dir: None,
+        deadline_ms: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics" => {
-                metrics = Some(args.next().ok_or("--metrics requires a file path")?);
+                parsed.metrics = Some(args.next().ok_or("--metrics requires a file path")?);
             }
             "--trace" => {
-                trace = Some(args.next().ok_or("--trace requires a file path")?);
+                parsed.trace = Some(args.next().ok_or("--trace requires a file path")?);
+            }
+            "--checkpoint" => {
+                parsed.checkpoint_dir =
+                    Some(args.next().ok_or("--checkpoint requires a directory")?);
+            }
+            "--deadline-ms" => {
+                let value = args.next().ok_or("--deadline-ms requires milliseconds")?;
+                parsed.deadline_ms = Some(value.parse().map_err(|_| "--deadline-ms: bad value")?);
             }
             _ => {}
         }
     }
-    Ok((metrics, trace))
+    Ok(parsed)
 }

@@ -46,13 +46,14 @@ pub use mnsim_core::{ExecOptions, Simulator};
 /// simulation, fault-campaign, design-space-exploration, or validation
 /// program needs.
 pub mod prelude {
+    pub use mnsim_core::checkpoint::CheckpointPolicy;
     pub use mnsim_core::config::Config;
     pub use mnsim_core::dse::{Constraints, DesignSpace, DseResult, Objective};
     pub use mnsim_core::error::{ConfigError, CoreError};
-    pub use mnsim_core::exec::ExecOptions;
+    pub use mnsim_core::exec::{CancelToken, Deadline, ExecError, ExecOptions, RunControl};
     pub use mnsim_core::fault_sim::{FaultConfig, FaultSummary};
     pub use mnsim_core::simulate::Report;
-    pub use mnsim_core::simulator::Simulator;
+    pub use mnsim_core::simulator::{RunHandle, Simulator};
     pub use mnsim_core::validate::ValidationRow;
     pub use mnsim_tech::fault::FaultRates;
 }

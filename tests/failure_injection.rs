@@ -1,7 +1,7 @@
 //! Failure-injection tests: every layer must fail loudly and typed, never
 //! silently produce garbage.
 
-use mnsim::circuit::cg::{solve_cg, CgOptions};
+use mnsim::circuit::cg::{solve_cg, CgOptions, IterationCap};
 use mnsim::circuit::sparse::TripletMatrix;
 use mnsim::circuit::solve::{solve_dc, SolveOptions};
 use mnsim::circuit::{Circuit, CircuitError};
@@ -71,7 +71,9 @@ fn cg_iteration_starvation_is_typed() {
     }
     let options = CgOptions {
         tolerance: 1e-14,
-        max_iterations: 1,
+        // The deprecated numeric form still converts (0 would mean auto).
+        max_iterations: 1.into(),
+        ..CgOptions::default()
     };
     assert!(matches!(
         solve_cg(&t.to_csr(), &[1.0; 50], &options),
@@ -222,7 +224,8 @@ fn recovery_ladder_reports_fallback_through_facade() {
             method: Method::Cg,
             cg: CgOptions {
                 tolerance: 1e-15,
-                max_iterations: 1,
+                max_iterations: IterationCap::Limit(1),
+                ..CgOptions::default()
             },
             ..SolveOptions::default()
         },

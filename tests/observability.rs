@@ -6,7 +6,7 @@
 //! running instrumented code. The lock serializes the tests, so the global
 //! registry is never polluted by a concurrently running test.
 
-use mnsim::circuit::cg::CgOptions;
+use mnsim::circuit::cg::{CgOptions, IterationCap};
 use mnsim::circuit::solve::{Method, SolveOptions};
 use mnsim::circuit::{solve_robust, Circuit, RecoveryStage, RobustOptions};
 use mnsim::core::config::Config;
@@ -69,7 +69,8 @@ fn forced_fallback_increments_ladder_counters() {
             method: Method::Cg,
             cg: CgOptions {
                 tolerance: 1e-15,
-                max_iterations: 1,
+                max_iterations: IterationCap::Limit(1),
+                ..CgOptions::default()
             },
             ..SolveOptions::default()
         },

@@ -313,13 +313,8 @@ fn orthogonal_batch_converges_within_cg_caps() {
         )
         .unwrap();
         let solutions = solve_dc_batch(&mut prepared, built.circuit(), &batch).unwrap();
-        let caps = CgOptions::default();
-        let cap = if caps.max_iterations == 0 {
-            // Mirrors the documented `0 = 10n` default.
-            10 * 2 * rows * rows
-        } else {
-            caps.max_iterations
-        };
+        // Resolve the default cap against the system size (2·rows² unknowns).
+        let cap = CgOptions::default().max_iterations.resolve(2 * rows * rows);
         for (k, &iterations) in prepared.last_cg_iterations().iter().enumerate() {
             assert!(
                 iterations <= cap,
