@@ -13,6 +13,7 @@
 //! ```text
 //! repro faultmc [--trials N] [--seed S] [--rate R] [--threads T]
 //!               [--checkpoint <path>] [--deadline-ms MS]
+//!               [--live <path>] [--progress]
 //! ```
 //!
 //! With `--checkpoint` the campaign persists completed trials to `path`
@@ -21,6 +22,16 @@
 //! cooperatively at the deadline and exits with status **3** (checkpoint
 //! written first when a policy is set), distinguishing an interrupted
 //! campaign from a failed one (status 1).
+//!
+//! With `--live <path>` the run streams typed progress events
+//! ([`mnsim_obs::live`]) as NDJSON to `path` — one flushed JSON object
+//! per line (`campaign_started`, `wave_completed` with ETA and items/s,
+//! `checkpoint_written`, `deadline_approaching`, `guard_tripped`,
+//! `campaign_finished`, periodic `sample` lines), so `tail -f` follows a
+//! long campaign live. `--progress` prints a human one-liner per wave to
+//! stderr; both flags work for any experiment and compose with
+//! `--checkpoint`/`--deadline-ms` (an interrupted run still flushes its
+//! final `campaign_finished` event).
 //!
 //! With `--metrics <path>` the run executes inside an observability session
 //! ([`mnsim_obs`]) and writes the final [`mnsim_obs::MetricsSnapshot`] as
@@ -90,12 +101,16 @@ fn main() {
     let mut experiment = None;
     let mut metrics_path = None;
     let mut trace_path = None;
+    let mut live_path = None;
+    let mut progress = false;
     let mut faultmc = FaultMcArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics" => metrics_path = Some(flag_value(&mut args, "--metrics")),
             "--trace" => trace_path = Some(flag_value(&mut args, "--trace")),
+            "--live" => live_path = Some(flag_value(&mut args, "--live")),
+            "--progress" => progress = true,
             "--trials" => {
                 faultmc.trials = parse_or_usage(&flag_value(&mut args, "--trials"), "--trials");
             }
@@ -127,9 +142,35 @@ fn main() {
         std::process::exit(2);
     });
 
-    let session = metrics_path.as_ref().map(|_| obs::session());
+    // The live sampler reads the metric registry, so `--live`/`--progress`
+    // imply a metrics session even without `--metrics`.
+    let live_wanted = live_path.is_some() || progress;
+    let session = (metrics_path.is_some() || live_wanted).then(obs::session);
     let trace_session = trace_path.as_ref().map(|_| trace::session());
-    if let Err(e) = dispatch(&experiment, &faultmc) {
+    let live_session = live_wanted.then(|| {
+        let mut live_config = obs::live::LiveConfig::default().with_progress(progress);
+        if let Some(path) = &live_path {
+            live_config = live_config.to_path(path);
+        }
+        obs::live::session(live_config).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        })
+    });
+    let outcome = dispatch(&experiment, &faultmc);
+    // Finish the live stream before deciding the exit status so an
+    // interrupted or failed run still flushes its final event.
+    if let Some(live) = live_session {
+        let live_report = live.finish();
+        if let Some(path) = &live_path {
+            eprintln!(
+                "live telemetry written to {path} ({} lines, {} samples)",
+                live_report.events,
+                live_report.samples.len()
+            );
+        }
+    }
+    if let Err(e) = outcome {
         let interrupted = matches!(
             e.downcast_ref::<CoreError>(),
             Some(CoreError::Cancelled { .. } | CoreError::DeadlineExceeded { .. })
@@ -159,8 +200,8 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|faultmc|all> [--metrics <path>] [--trace <path>]\n\
-       repro faultmc [--trials N] [--seed S] [--rate R] [--threads T] [--checkpoint <path>] [--deadline-ms MS]";
+const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|faultmc|all> [--metrics <path>] [--trace <path>] [--live <path>] [--progress]\n\
+       repro faultmc [--trials N] [--seed S] [--rate R] [--threads T] [--checkpoint <path>] [--deadline-ms MS] [--live <path>] [--progress]";
 
 fn run_faultmc(args: &FaultMcArgs) -> Result<String, Box<dyn std::error::Error>> {
     let config = Config::fully_connected_mlp(&[128, 64])?;

@@ -38,7 +38,16 @@ use mnsim_tech::units::{Resistance, Voltage};
 ///
 /// Version 2 split the single summed stage breakdown into `stages`
 /// (lane-merged wall seconds) and `stages_cpu` (summed CPU seconds).
-pub const SCHEMA_VERSION: u32 = 2;
+/// Version 3 added `min_s` — the noise-robust statistic [`compare`] uses
+/// for entries whose baseline p95/median spread marks them as flaky.
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// Baseline entries whose `p95_s` exceeds this multiple of their
+/// `median_s` are judged on `min_s` instead of `median_s` by [`compare`]:
+/// such spread means scheduler interference dominates the tail (observed
+/// at ~3.6× on `fault_mc`), and interference only ever *adds* time — the
+/// minimum is the statistic it cannot inflate.
+pub const FLAKY_P95_RATIO: f64 = 2.0;
 
 /// One benchmark entry: repeated wall-clock timings plus a trace-derived
 /// stage breakdown.
@@ -48,6 +57,9 @@ pub struct BenchEntry {
     pub name: String,
     /// Timed repetitions.
     pub runs: usize,
+    /// Minimum wall time, seconds — the noise floor; [`compare`] falls
+    /// back to it for flaky entries (see [`FLAKY_P95_RATIO`]).
+    pub min_s: f64,
     /// Median wall time, seconds.
     pub median_s: f64,
     /// 95th-percentile wall time, seconds.
@@ -105,9 +117,10 @@ pub struct BenchReport {
 pub struct Regression {
     /// Benchmark name.
     pub name: String,
-    /// Baseline median, seconds.
+    /// Baseline statistic, seconds — the median, or the minimum for
+    /// entries the baseline spread marks flaky (see [`FLAKY_P95_RATIO`]).
     pub baseline_s: f64,
-    /// Current median, seconds.
+    /// Current value of the same statistic, seconds.
     pub current_s: f64,
     /// `current / baseline`.
     pub ratio: f64,
@@ -152,6 +165,7 @@ fn bench_entry(name: &str, runs: usize, mut work: impl FnMut()) -> BenchEntry {
     BenchEntry {
         name: name.to_string(),
         runs,
+        min_s: samples.first().copied().unwrap_or(0.0),
         median_s: sample_quantile(&samples, 0.5),
         p95_s: sample_quantile(&samples, 0.95),
         stages,
@@ -304,16 +318,16 @@ fn dc_solve_batch_workload() -> impl FnMut() {
 /// configurations unless the model itself is broken).
 pub fn run_suite(quick: bool) -> Result<BenchReport, String> {
     let runs = if quick { 3 } else { 9 };
-    let mut entries = Vec::new();
-
-    entries.push(bench_entry("dc_solve_16", runs, dc_solve_workload(16)));
-    entries.push(bench_entry("dc_solve_64", runs, dc_solve_workload(64)));
-    entries.push(bench_entry(
-        "dc_solve_multi_serial",
-        runs,
-        dc_solve_multi_serial_workload(),
-    ));
-    entries.push(bench_entry("dc_solve_batch", runs, dc_solve_batch_workload()));
+    let mut entries = vec![
+        bench_entry("dc_solve_16", runs, dc_solve_workload(16)),
+        bench_entry("dc_solve_64", runs, dc_solve_workload(64)),
+        bench_entry(
+            "dc_solve_multi_serial",
+            runs,
+            dc_solve_multi_serial_workload(),
+        ),
+        bench_entry("dc_solve_batch", runs, dc_solve_batch_workload()),
+    ];
 
     let mlp = Config::fully_connected_mlp(&[512, 256, 128]).map_err(|e| e.to_string())?;
     entries.push(bench_entry("simulate_mlp", runs, || {
@@ -402,8 +416,8 @@ impl BenchReport {
             out.push_str("\n    {");
             let _ = write!(
                 out,
-                "\"name\": \"{}\", \"runs\": {}, \"median_s\": {:?}, \"p95_s\": {:?}, ",
-                entry.name, entry.runs, entry.median_s, entry.p95_s
+                "\"name\": \"{}\", \"runs\": {}, \"min_s\": {:?}, \"median_s\": {:?}, \"p95_s\": {:?}, ",
+                entry.name, entry.runs, entry.min_s, entry.median_s, entry.p95_s
             );
             for (key, stages) in [("stages", &entry.stages), ("stages_cpu", &entry.stages_cpu)]
             {
@@ -479,9 +493,16 @@ pub fn parse_bench_json(input: &str) -> Result<BenchReport, String> {
             }
             stages
         };
+        let median_s = field_f64(entry, "median_s", &context)?;
         parsed.push(BenchEntry {
             runs: field_f64(entry, "runs", &context)? as usize,
-            median_s: field_f64(entry, "median_s", &context)?,
+            // Absent before schema 3: fall back to the median, which
+            // degrades the flaky-entry gate to the historical median gate.
+            min_s: entry
+                .get("min_s")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(median_s),
+            median_s,
             p95_s: field_f64(entry, "p95_s", &context)?,
             name,
             stages: stage_map("stages"),
@@ -498,9 +519,31 @@ pub fn parse_bench_json(input: &str) -> Result<BenchReport, String> {
     })
 }
 
-/// Diffs two reports: entries present in both whose current median exceeds
-/// the baseline median by more than `threshold` (e.g. `0.15` = 15 %) are
-/// returned, slowest-relative first.
+/// Whether a baseline entry's tail spread marks it flaky — judged on the
+/// *baseline* so the verdict is stable run-to-run.
+fn is_flaky(base: &BenchEntry) -> bool {
+    base.p95_s > FLAKY_P95_RATIO * base.median_s
+}
+
+/// The (baseline, current) statistic pair [`compare`] gates an entry on:
+/// medians normally, minima when the baseline is flaky.
+fn gate_stats(base: &BenchEntry, entry: &BenchEntry) -> (f64, f64) {
+    if is_flaky(base) {
+        (base.min_s, entry.min_s)
+    } else {
+        (base.median_s, entry.median_s)
+    }
+}
+
+/// Diffs two reports: entries present in both whose current statistic
+/// exceeds the baseline's by more than `threshold` (e.g. `0.15` = 15 %)
+/// are returned, slowest-relative first.
+///
+/// The statistic is the median, except for entries whose baseline p95
+/// exceeds [`FLAKY_P95_RATIO`] × median: those are gated on `min_s`,
+/// because a tail that wide means the median itself is dominated by
+/// scheduler interference — which only ever adds time, so the minimum is
+/// the one order statistic it cannot inflate.
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> Vec<Regression> {
     let baseline_by_name: BTreeMap<&str, &BenchEntry> = baseline
         .entries
@@ -512,15 +555,16 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
         let Some(base) = baseline_by_name.get(entry.name.as_str()) else {
             continue;
         };
-        if base.median_s <= 0.0 {
+        let (base_s, current_s) = gate_stats(base, entry);
+        if base_s <= 0.0 {
             continue;
         }
-        let ratio = entry.median_s / base.median_s;
+        let ratio = current_s / base_s;
         if ratio > 1.0 + threshold {
             regressions.push(Regression {
                 name: entry.name.clone(),
-                baseline_s: base.median_s,
-                current_s: entry.median_s,
+                baseline_s: base_s,
+                current_s,
                 ratio,
             });
         }
@@ -550,12 +594,14 @@ pub fn comparison_table(
     for entry in &current.entries {
         match baseline_by_name.get(entry.name.as_str()) {
             Some(base) if base.median_s > 0.0 => {
-                let ratio = entry.median_s / base.median_s;
+                let (base_s, current_s) = gate_stats(base, entry);
+                let ratio = current_s / base_s;
+                let flaky = if is_flaky(base) { "  [flaky: min-gated]" } else { "" };
                 let flag = if ratio > 1.0 + threshold { "  << REGRESSION" } else { "" };
                 let _ = writeln!(
                     out,
-                    "{:<16} {:>12.6} {:>12.6} {:>8.3}{}",
-                    entry.name, base.median_s, entry.median_s, ratio, flag
+                    "{:<16} {:>12.6} {:>12.6} {:>8.3}{}{}",
+                    entry.name, base_s, current_s, ratio, flag, flaky
                 );
             }
             _ => {
@@ -588,6 +634,9 @@ mod tests {
                 .map(|&(name, median)| BenchEntry {
                     name: name.to_string(),
                     runs: 5,
+                    // p95 at 1.2× keeps synthetic entries non-flaky, so
+                    // compare() exercises the median gate by default.
+                    min_s: median * 0.95,
                     median_s: median,
                     p95_s: median * 1.2,
                     stages: BTreeMap::from([("run".to_string(), median * 0.9)]),
@@ -620,6 +669,42 @@ mod tests {
     }
 
     #[test]
+    fn flaky_entries_are_gated_on_min_not_median() {
+        // Baseline shaped like the committed fault_mc entry: p95/median
+        // ≈ 3.6× marks it flaky, so the gate moves to min_s.
+        let mut base = report_with(&[("fault_mc", 0.030)]);
+        base.entries[0].p95_s = 0.110;
+        base.entries[0].min_s = 0.020;
+
+        // Median jumps 50 % (would trip the 15 % median gate) but the
+        // minimum barely moves: scheduler noise, not a regression.
+        let mut noisy = report_with(&[("fault_mc", 0.045)]);
+        noisy.entries[0].min_s = 0.021;
+        assert!(compare(&base, &noisy, 0.15).is_empty());
+
+        // A genuinely slower minimum is still caught, and the flagged
+        // statistic pair is the minima.
+        let mut slow = report_with(&[("fault_mc", 0.045)]);
+        slow.entries[0].min_s = 0.040;
+        let regressions = compare(&base, &slow, 0.15);
+        assert_eq!(regressions.len(), 1);
+        assert!((regressions[0].baseline_s - 0.020).abs() < 1e-12);
+        assert!((regressions[0].current_s - 0.040).abs() < 1e-12);
+        assert!((regressions[0].ratio - 2.0).abs() < 1e-12);
+
+        // The table marks the entry so the gate switch is visible.
+        let table = comparison_table(&base, &noisy, 0.15);
+        assert!(table.contains("[flaky: min-gated]"), "{table}");
+        assert!(!table.contains("REGRESSION"), "{table}");
+
+        // A schema-2 baseline (no min_s) degrades to the median gate even
+        // for flaky entries: min_s parses back as the median.
+        let legacy = base.to_json().replace("\"min_s\": 0.02, ", "");
+        let parsed = parse_bench_json(&legacy).unwrap();
+        assert_eq!(parsed.entries[0].min_s, parsed.entries[0].median_s);
+    }
+
+    #[test]
     fn sample_quantile_nearest_rank() {
         let sorted = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(sample_quantile(&sorted, 0.5), 2.0);
@@ -633,6 +718,7 @@ mod tests {
         assert!(report.entries.len() >= 6, "{}", report.entries.len());
         for entry in &report.entries {
             assert!(entry.median_s > 0.0, "{} has no timing", entry.name);
+            assert!(entry.min_s > 0.0 && entry.min_s <= entry.median_s);
             assert!(entry.p95_s >= entry.median_s);
             assert!(!entry.stages.is_empty(), "{} has no stages", entry.name);
             // Wall (lane-merged) never exceeds CPU (summed) at any level.

@@ -56,6 +56,18 @@ static BATCH_STALE: obs::Counter = obs::Counter::new("circuit.batch.stale_reject
 static BATCH_FALLBACKS: obs::Counter = obs::Counter::new("circuit.batch.nonlinear_fallbacks");
 static CACHE_HITS: obs::Counter = obs::Counter::new("circuit.batch.cache_hits");
 static CACHE_INVALIDATIONS: obs::Counter = obs::Counter::new("circuit.batch.invalidations");
+/// First-time builds through [`prepare_or_reuse`] (empty slot, not a
+/// stale one) — the denominator of the reuse ratio alongside hits and
+/// invalidations.
+static CACHE_COLD_BUILDS: obs::Counter = obs::Counter::new("circuit.batch.cache_cold_builds");
+/// `hits / (hits + invalidations + cold builds)` across every
+/// [`prepare_or_reuse`] call so far — how often the cached
+/// [`PreparedSystem`] was actually reusable.
+static BATCH_REUSE_RATIO: obs::Gauge = obs::Gauge::new("circuit.batch.reuse_ratio");
+/// CG iterations avoided by warm starts: the cold-start baseline of the
+/// prepared system minus each warm solve's iteration count (saturating).
+static BATCH_WARM_ITERS_SAVED: obs::Counter =
+    obs::Counter::new("circuit.batch.warm_iterations_saved");
 
 /// Warm-start policy for the conjugate-gradient path of a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -177,6 +189,10 @@ pub struct PreparedSystem {
     /// Per-solve CG iteration counts of the most recent batch call
     /// (0 for dense, full-MNA, and fallback solves).
     last_iterations: Vec<usize>,
+    /// Iteration count of the most recent cold (zero-guess) CG solve —
+    /// the baseline `circuit.batch.warm_iterations_saved` measures warm
+    /// starts against.
+    cold_iterations: Option<usize>,
 }
 
 impl PreparedSystem {
@@ -209,6 +225,7 @@ impl PreparedSystem {
                 kind: SystemKind::Nonlinear,
                 last_x: None,
                 last_iterations: Vec::new(),
+                cold_iterations: None,
             });
         }
 
@@ -249,6 +266,7 @@ impl PreparedSystem {
             kind,
             last_x: None,
             last_iterations: Vec::new(),
+            cold_iterations: None,
         })
     }
 
@@ -468,6 +486,15 @@ impl PreparedSystem {
                         BATCH_CG_ITERATIONS.add(stats.iterations as u64);
                         BATCH_CG_ITERATIONS_PER_SOLVE.record(stats.iterations as f64);
                         self.last_iterations.push(stats.iterations);
+                        // Warm-start effectiveness: compare every warm
+                        // solve against the latest cold baseline of this
+                        // prepared system.
+                        match (x0.is_some(), self.cold_iterations) {
+                            (false, _) => self.cold_iterations = Some(stats.iterations),
+                            (true, Some(cold)) => BATCH_WARM_ITERS_SAVED
+                                .add(cold.saturating_sub(stats.iterations) as u64),
+                            (true, None) => {}
+                        }
                         if self.options.warm_start == WarmStart::Nearest {
                             solved_this_batch.push((rhs.volts.clone(), x.clone()));
                         }
@@ -528,8 +555,18 @@ pub fn prepare_or_reuse<'a>(
                 true
             }
         }
-        None => true,
+        None => {
+            CACHE_COLD_BUILDS.inc();
+            true
+        }
     };
+    if obs::enabled() {
+        let hits = CACHE_HITS.get() as f64;
+        let misses = (CACHE_INVALIDATIONS.get() + CACHE_COLD_BUILDS.get()) as f64;
+        if hits + misses > 0.0 {
+            BATCH_REUSE_RATIO.set(hits / (hits + misses));
+        }
+    }
     if rebuild {
         *slot = Some(PreparedSystem::build(circuit, options.clone())?);
     }

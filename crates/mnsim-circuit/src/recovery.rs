@@ -41,6 +41,11 @@ static ATTEMPT_DENSE: obs::Counter = obs::Counter::new("circuit.recovery.attempt
 static ACCEPT_BASE: obs::Counter = obs::Counter::new("circuit.recovery.accepted.base");
 static ACCEPT_RELAXED: obs::Counter = obs::Counter::new("circuit.recovery.accepted.relaxed_cg");
 static ACCEPT_DENSE: obs::Counter = obs::Counter::new("circuit.recovery.accepted.dense_lu");
+/// Per-rung dwell time: how long each attempt (successful or not) spent
+/// on its rung before accepting or escalating.
+static DWELL_BASE: obs::Span = obs::Span::new("circuit.recovery.dwell.base");
+static DWELL_RELAXED: obs::Span = obs::Span::new("circuit.recovery.dwell.relaxed_cg");
+static DWELL_DENSE: obs::Span = obs::Span::new("circuit.recovery.dwell.dense_lu");
 
 impl RecoveryStage {
     /// Static label of the rung's trace instant.
@@ -65,6 +70,14 @@ impl RecoveryStage {
             RecoveryStage::Base => &ACCEPT_BASE,
             RecoveryStage::RelaxedCg => &ACCEPT_RELAXED,
             RecoveryStage::DenseLu => &ACCEPT_DENSE,
+        }
+    }
+
+    fn dwell_span(self) -> &'static obs::Span {
+        match self {
+            RecoveryStage::Base => &DWELL_BASE,
+            RecoveryStage::RelaxedCg => &DWELL_RELAXED,
+            RecoveryStage::DenseLu => &DWELL_DENSE,
         }
     }
 }
@@ -220,6 +233,7 @@ pub fn solve_robust(
     for (stage, solve_options) in ladder {
         stage.attempt_counter().inc();
         trace::instant(stage.trace_name(), trace::Level::Stage, 1.0);
+        let _dwell = stage.dwell_span().enter();
         match attempt(circuit, &solve_options, stage) {
             Ok(solution) => {
                 stage.accept_counter().inc();
@@ -248,6 +262,9 @@ pub fn solve_robust(
                 if let Some(guard) = guard {
                     EARLY_ESCALATIONS.inc();
                     trace::instant("recovery.early_escalation", trace::Level::Stage, 1.0);
+                    if obs::live::enabled() {
+                        obs::live::guard_tripped(&stage.to_string(), &guard.to_string());
+                    }
                     early_escalations.push(EarlyEscalation { stage, guard });
                 }
                 attempts.push(Attempt {

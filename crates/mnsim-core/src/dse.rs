@@ -420,8 +420,16 @@ pub fn explore_controlled(
         }
     }
 
-    let wave_len = checkpoint_policy.map_or(usize::MAX, |policy| policy.every_n.max(1));
+    // Wave grain: the checkpoint cadence when one is configured,
+    // otherwise the live-telemetry progress grain (single wave when
+    // telemetry is off — the exact legacy sweep).
+    let wave_len = match checkpoint_policy {
+        Some(policy) => policy.every_n.max(1),
+        None => obs::live::wave_grain(combos.len()),
+    };
     let remaining: Vec<usize> = (0..combos.len()).filter(|&i| slots[i].is_none()).collect();
+    let mut done = combos.len() - remaining.len();
+    obs::live::campaign_started("dse_sweep", combos.len(), done);
     let mut failure: Option<ExecError<CoreError>> = None;
     let mut interrupt = None;
 
@@ -432,6 +440,7 @@ pub fn explore_controlled(
             // even when the control plane tripped before the first wave.
             if let Some(policy) = checkpoint_policy {
                 write_dse_checkpoint(policy, fingerprint, combos.len(), &slots)?;
+                obs::live::checkpoint_written(&policy.path, done);
             }
             break;
         }
@@ -442,6 +451,7 @@ pub fn explore_controlled(
             record_admission(admitted);
             Ok::<_, CoreError>(admitted.then_some(point))
         });
+        done += wave_report.completed;
         for (position, slot) in wave_report.results.into_iter().enumerate() {
             if let Some(outcome) = slot {
                 slots[wave[position]] = Some(outcome);
@@ -449,6 +459,7 @@ pub fn explore_controlled(
         }
         if let Some(policy) = checkpoint_policy {
             write_dse_checkpoint(policy, fingerprint, combos.len(), &slots)?;
+            obs::live::checkpoint_written(&policy.path, done);
         }
         if wave_report.error.is_some() {
             failure = wave_report.error;
@@ -458,11 +469,14 @@ pub fn explore_controlled(
             interrupt = wave_report.interrupt;
             break;
         }
+        // Clean waves only — see the determinism note in `fault_sim`.
+        obs::live::wave_completed(done, combos.len(), control.deadline.map(|d| d.remaining()));
     }
 
     let completed = slots.iter().filter(|slot| slot.is_some()).count();
     let checkpoint_path = checkpoint_policy.map(|policy| policy.path.clone());
     if let Some(error) = failure {
+        obs::live::campaign_finished(completed, combos.len(), "failed");
         return Err(match error {
             ExecError::Item { error, .. } => error,
             ExecError::WorkerPanic { index, payload } => CoreError::WorkerPanic { index, payload },
@@ -479,6 +493,7 @@ pub fn explore_controlled(
         });
     }
     if completed < combos.len() {
+        obs::live::campaign_finished(completed, combos.len(), "interrupted");
         let kind = interrupt
             .or_else(|| control.interrupted())
             .unwrap_or(Interrupt::Cancelled);
@@ -496,6 +511,7 @@ pub fn explore_controlled(
         });
     }
 
+    obs::live::campaign_finished(combos.len(), combos.len(), "complete");
     let feasible: Vec<DesignPoint> = slots
         .into_iter()
         .filter_map(|slot| slot.expect("complete traversal evaluated every combination"))

@@ -23,6 +23,13 @@
 //!   per-chunk [`trace::Level::Chunk`] spans parented on the caller's
 //!   innermost span, so cross-thread work stays attributed to the run
 //!   that spawned it — the same contract the fault-trial lanes pioneered.
+//! * **Pool effectiveness metrics.** With a metrics session open the pool
+//!   records per-worker busy/idle self-time (`exec.worker.busy` /
+//!   `exec.worker.idle`), the queue depth after each chunk claim
+//!   (`exec.queue.depth`), and a per-pool chunk-imbalance gauge
+//!   (`exec.chunk_imbalance`, `(max − min) / mean` of per-worker item
+//!   counts). These are timing telemetry — useful for judging the chunk
+//!   queue, never part of the determinism contract.
 //!
 //! With one thread (or one item) the pool degenerates to the plain serial
 //! loop on the calling thread: no spawn, no chunk spans, no queue.
@@ -56,6 +63,16 @@ use mnsim_obs::trace;
 static EXEC_CANCELLED: obs::Counter = obs::Counter::new("exec.cancelled");
 static EXEC_DEADLINE_EXCEEDED: obs::Counter = obs::Counter::new("exec.deadline_exceeded");
 static EXEC_WORKER_PANICS: obs::Counter = obs::Counter::new("exec.worker_panics");
+/// Per-worker self-time spent evaluating chunk items.
+static EXEC_WORKER_BUSY: obs::Span = obs::Span::new("exec.worker.busy");
+/// Per-worker self-time between finishing one chunk and claiming the
+/// next (queue/cursor contention; excludes the post-queue drain).
+static EXEC_WORKER_IDLE: obs::Span = obs::Span::new("exec.worker.idle");
+/// Items left in the queue after the most recent chunk claim.
+static EXEC_QUEUE_DEPTH: obs::Gauge = obs::Gauge::new("exec.queue.depth");
+/// `(max − min) / mean` of per-worker item counts for the most recent
+/// parallel pool — 0.0 is a perfectly balanced run.
+static EXEC_CHUNK_IMBALANCE: obs::Gauge = obs::Gauge::new("exec.chunk_imbalance");
 
 /// Chunks handed out per worker on average; >1 lets the queue rebalance
 /// around slow items, while keeping per-chunk overhead negligible.
@@ -524,15 +541,22 @@ where
         let cursor = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, ItemOutcome<R, E>)>> =
             Mutex::new(Vec::with_capacity(total));
+        // Pool-effectiveness metrics (busy/idle self-time, queue depth,
+        // chunk imbalance) cost `Instant::now` calls per chunk, so they
+        // are gated on the metrics session being open at pool start.
+        let instrument = obs::enabled();
+        let worker_items: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
 
         let f_ref = &f;
         let cursor_ref = &cursor;
         let collected_ref = &collected;
+        let worker_items_ref = &worker_items;
         std::thread::scope(|scope| {
-            for worker in 0..threads {
+            for (worker, items_done) in worker_items_ref.iter().enumerate() {
                 scope.spawn(move || {
                     trace::pin_lane(lane_base + worker as u64);
                     let mut local: Vec<(usize, ItemOutcome<R, E>)> = Vec::new();
+                    let mut idle_since = instrument.then(Instant::now);
                     loop {
                         if control.interrupted().is_some() {
                             break;
@@ -542,6 +566,15 @@ where
                             break;
                         }
                         let end = (start + chunk).min(total);
+                        let busy_since = if instrument {
+                            if let Some(since) = idle_since.take() {
+                                EXEC_WORKER_IDLE.record_seconds(since.elapsed().as_secs_f64());
+                            }
+                            EXEC_QUEUE_DEPTH.set(total.saturating_sub(end) as f64);
+                            Some(Instant::now())
+                        } else {
+                            None
+                        };
                         let _chunk_span = trace::span_under(
                             "exec.chunk",
                             trace::Level::Chunk,
@@ -571,6 +604,11 @@ where
                         if let Some(token) = &control.cancel {
                             token.note_completed(chunk_completed);
                         }
+                        if let Some(since) = busy_since {
+                            EXEC_WORKER_BUSY.record_seconds(since.elapsed().as_secs_f64());
+                            items_done.fetch_add(end - start, Ordering::Relaxed);
+                            idle_since = Some(Instant::now());
+                        }
                     }
                     collected_ref
                         .lock()
@@ -579,6 +617,22 @@ where
                 });
             }
         });
+
+        if instrument {
+            let counts: Vec<usize> = worker_items
+                .iter()
+                .map(|items| items.load(Ordering::Relaxed))
+                .collect();
+            let max = counts.iter().copied().max().unwrap_or(0);
+            let min = counts.iter().copied().min().unwrap_or(0);
+            let mean = counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64;
+            let imbalance = if mean > 0.0 {
+                (max - min) as f64 / mean
+            } else {
+                0.0
+            };
+            EXEC_CHUNK_IMBALANCE.set(imbalance);
+        }
 
         let collected = collected
             .into_inner()

@@ -519,13 +519,16 @@ pub fn simulate_with_faults_controlled(
     }
 
     // Waves: with a checkpoint policy, run `every_n` missing trials at a
-    // time and persist after each wave; without one, a single wave covers
-    // everything (the exact legacy open-loop run).
-    let wave_len = fault_config
-        .checkpoint
-        .as_ref()
-        .map_or(usize::MAX, |policy| policy.every_n.max(1));
+    // time and persist after each wave; without one, live telemetry picks
+    // a thread-independent grain (or a single wave covers everything —
+    // the exact legacy open-loop run — when telemetry is off too).
+    let wave_len = match &fault_config.checkpoint {
+        Some(policy) => policy.every_n.max(1),
+        None => obs::live::wave_grain(trials),
+    };
     let remaining: Vec<usize> = (0..trials).filter(|&t| slots[t].is_none()).collect();
+    let mut done = trials - remaining.len();
+    obs::live::campaign_started("fault_mc", trials, done);
     let mut failure: Option<ExecError<CoreError>> = None;
     let mut interrupt = None;
 
@@ -536,11 +539,13 @@ pub fn simulate_with_faults_controlled(
             // even when the control plane tripped before the first wave.
             if let Some(policy) = &fault_config.checkpoint {
                 write_fault_checkpoint(policy, fingerprint, fault_config, &slots)?;
+                obs::live::checkpoint_written(&policy.path, done);
             }
             break;
         }
         let wave_report =
             exec::run_indices(wave, options.threads, control, |trial| run_trial(&context, trial));
+        done += wave_report.completed;
         for (position, slot) in wave_report.results.into_iter().enumerate() {
             if let Some(outcome) = slot {
                 slots[wave[position]] = Some(outcome);
@@ -548,6 +553,7 @@ pub fn simulate_with_faults_controlled(
         }
         if let Some(policy) = &fault_config.checkpoint {
             write_fault_checkpoint(policy, fingerprint, fault_config, &slots)?;
+            obs::live::checkpoint_written(&policy.path, done);
         }
         if wave_report.error.is_some() {
             failure = wave_report.error;
@@ -557,6 +563,10 @@ pub fn simulate_with_faults_controlled(
             interrupt = wave_report.interrupt;
             break;
         }
+        // Only clean waves report progress: an interrupted wave's `done`
+        // depends on where the worker threads happened to stop, so
+        // emitting it would break the cross-thread determinism contract.
+        obs::live::wave_completed(done, trials, control.deadline.map(|d| d.remaining()));
     }
 
     let completed = slots.iter().filter(|slot| slot.is_some()).count();
@@ -565,6 +575,7 @@ pub fn simulate_with_faults_controlled(
         .as_ref()
         .map(|policy| policy.path.clone());
     if let Some(error) = failure {
+        obs::live::campaign_finished(completed, trials, "failed");
         return Err(match error {
             ExecError::Item { error, .. } => error,
             ExecError::WorkerPanic { index, payload } => CoreError::WorkerPanic { index, payload },
@@ -582,6 +593,7 @@ pub fn simulate_with_faults_controlled(
     }
     if completed < trials {
         // The control plane cut the run short (possibly between waves).
+        obs::live::campaign_finished(completed, trials, "interrupted");
         let kind = interrupt
             .or_else(|| control.interrupted())
             .unwrap_or(Interrupt::Cancelled);
@@ -599,6 +611,7 @@ pub fn simulate_with_faults_controlled(
         });
     }
 
+    obs::live::campaign_finished(trials, trials, "complete");
     let outcomes: Vec<TrialOutcome> = slots
         .into_iter()
         .map(|slot| slot.expect("complete campaign has every trial outcome"))

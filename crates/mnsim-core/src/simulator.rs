@@ -10,6 +10,14 @@
 //! [`ExecOptions`] worker pool, with metrics and trace sessions owned by
 //! the facade.
 //!
+//! Live telemetry composes from the *outside*: when a front end holds an
+//! open [`mnsim_obs::live`] session, the fault-campaign and DSE wave
+//! loops stream typed progress events (`campaign_started`,
+//! `wave_completed` with ETA and items/s, `checkpoint_written`,
+//! `campaign_finished`, …) into it — no `Simulator` knob needed, and no
+//! cost at all when no session is open. See the `repro` CLI's
+//! `--live`/`--progress` flags for the canonical wiring.
+//!
 //! ```
 //! use mnsim_core::{Config, Simulator};
 //!
@@ -179,7 +187,10 @@ impl Simulator {
     /// fault-campaign trial loop observes `control`'s cancellation token
     /// and deadline at chunk boundaries (a session deadline from
     /// [`Simulator::deadline`] fills in when `control` carries none), and
-    /// the session's [`CheckpointPolicy`] is honored.
+    /// the session's [`CheckpointPolicy`] is honored. With an open
+    /// [`mnsim_obs::live`] session the campaign additionally streams
+    /// progress events per wave; an interrupted run still emits its final
+    /// `campaign_finished` event before the error returns.
     ///
     /// # Errors
     ///

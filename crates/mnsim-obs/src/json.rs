@@ -42,6 +42,18 @@ impl JsonValue {
         }
     }
 
+    /// The number as a non-negative integer, if this is a number that
+    /// round-trips exactly through `u64` (handy for the integer fields of
+    /// live telemetry events: `done`, `total`, `completed`, …).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// The string, if this is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -46,6 +46,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 mod json;
+pub mod live;
 mod snapshot;
 pub mod trace;
 

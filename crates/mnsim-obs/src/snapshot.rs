@@ -218,7 +218,9 @@ fn write_map<'a, V: 'a>(
     }
 }
 
-fn write_json_string(out: &mut String, s: &str) {
+/// JSON string literal with the standard escapes (shared with
+/// [`crate::live`]'s NDJSON writer).
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -236,8 +238,9 @@ fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// JSON number or `null` for non-finite values.
-fn write_json_number(out: &mut String, v: f64) {
+/// JSON number or `null` for non-finite values (shared with
+/// [`crate::live`]'s NDJSON writer).
+pub(crate) fn write_json_number(out: &mut String, v: f64) {
     if v.is_finite() {
         // `{:?}` keeps full precision and always includes a decimal point
         // or exponent, so the output parses back to the identical f64.

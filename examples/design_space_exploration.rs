@@ -4,8 +4,14 @@
 //! and the Pareto front.
 //!
 //! ```text
-//! cargo run --release --example design_space_exploration [-- --metrics <path>] [--trace <path>]
+//! cargo run --release --example design_space_exploration \
+//!     [-- --metrics <path>] [--trace <path>] [--live <path>] [--progress]
 //! ```
+//!
+//! With `--live <path>` the sweep streams NDJSON progress events
+//! ([`mnsim::obs::live`]) — `campaign_started` / `wave_completed` (ETA,
+//! items/s) / `campaign_finished` — to `path` while it runs; `--progress`
+//! prints a human one-liner per wave to stderr.
 
 use mnsim::core::config::Precision;
 use mnsim::core::dse::Objective;
@@ -15,9 +21,21 @@ use mnsim::prelude::*;
 use mnsim::tech::cmos::CmosNode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (metrics_path, trace_path) = paths_from_args()?;
-    let session = metrics_path.as_ref().map(|_| obs::session());
+    let (metrics_path, trace_path, live_path, progress) = paths_from_args()?;
+    // The live sampler reads the metric registry, so `--live`/`--progress`
+    // imply a metrics session even without `--metrics`.
+    let live_wanted = live_path.is_some() || progress;
+    let session = (metrics_path.is_some() || live_wanted).then(obs::session);
     let trace_session = trace_path.as_ref().map(|_| obs::trace::session());
+    let live_session = if live_wanted {
+        let mut live_config = obs::live::LiveConfig::default().with_progress(progress);
+        if let Some(path) = &live_path {
+            live_config = live_config.to_path(path);
+        }
+        Some(obs::live::session(live_config)?)
+    } else {
+        None
+    };
 
     // One 2048×1024 layer, 45 nm CMOS, 4-bit signed weights, 8-bit signals.
     let mut base = Config::for_network(models::large_bank_layer());
@@ -76,6 +94,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    if let Some(live) = live_session {
+        let live_report = live.finish();
+        if let Some(path) = &live_path {
+            eprintln!(
+                "live telemetry written to {path} ({} lines, {} samples)",
+                live_report.events,
+                live_report.samples.len()
+            );
+        }
+    }
     if let (Some(path), Some(trace_session)) = (trace_path, trace_session) {
         let trace = trace_session.finish();
         std::fs::write(&path, trace.to_chrome_json())?;
@@ -90,10 +118,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Parses the optional `--metrics <path>` and `--trace <path>` arguments.
-fn paths_from_args() -> Result<(Option<String>, Option<String>), Box<dyn std::error::Error>> {
+/// `(metrics, trace, live, progress)` flag tuple.
+type SweepFlags = (Option<String>, Option<String>, Option<String>, bool);
+
+/// Parses the optional `--metrics <path>`, `--trace <path>`,
+/// `--live <path>` and `--progress` arguments.
+fn paths_from_args() -> Result<SweepFlags, Box<dyn std::error::Error>> {
     let mut metrics = None;
     let mut trace = None;
+    let mut live = None;
+    let mut progress = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -103,8 +137,12 @@ fn paths_from_args() -> Result<(Option<String>, Option<String>), Box<dyn std::er
             "--trace" => {
                 trace = Some(args.next().ok_or("--trace requires a file path")?);
             }
+            "--live" => {
+                live = Some(args.next().ok_or("--live requires a file path")?);
+            }
+            "--progress" => progress = true,
             _ => {}
         }
     }
-    Ok((metrics, trace))
+    Ok((metrics, trace, live, progress))
 }

@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release --example fault_tolerance \
 //!     [-- --metrics <path>] [--trace <path>] \
-//!     [--checkpoint <dir>] [--deadline-ms <ms>]
+//!     [--checkpoint <dir>] [--deadline-ms <ms>] \
+//!     [--live <path>] [--progress]
 //! ```
 //!
 //! Each sweep point runs a seeded Monte-Carlo fault campaign on top of the
@@ -18,6 +19,11 @@
 //! the next invocation. With `--deadline-ms <ms>` the whole sweep shares
 //! one wall-clock deadline; a point that hits it stops cooperatively and
 //! the example exits with a `deadline exceeded` error after checkpointing.
+//!
+//! With `--live <path>` the sweep streams NDJSON progress events
+//! ([`mnsim::obs::live`]) for every per-rate campaign to `path`, and
+//! `--progress` prints a human one-liner per wave to stderr — useful when
+//! the sweep runs long enough to want `tail -f`-style visibility.
 
 use mnsim::core::report::{report_csv_row, CSV_HEADER};
 use mnsim::obs;
@@ -25,8 +31,20 @@ use mnsim::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = sweep_args()?;
-    let session = args.metrics.as_ref().map(|_| obs::session());
+    // A live session samples the metric registry, so `--live`/`--progress`
+    // imply a metrics session even without `--metrics`.
+    let live_wanted = args.live.is_some() || args.progress;
+    let session = (args.metrics.is_some() || live_wanted).then(obs::session);
     let trace_session = args.trace.as_ref().map(|_| obs::trace::session());
+    let live_session = if live_wanted {
+        let mut live_config = obs::live::LiveConfig::default().with_progress(args.progress);
+        if let Some(path) = &args.live {
+            live_config = live_config.to_path(path);
+        }
+        Some(obs::live::session(live_config)?)
+    } else {
+        None
+    };
 
     let config = Config::fully_connected_mlp(&[128, 128])?;
     // One session, re-tuned per sweep point; trials fan out on all cores.
@@ -84,6 +102,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nCSV (fault columns are the last four):");
     println!("{csv}");
 
+    if let Some(live) = live_session {
+        let live_report = live.finish();
+        if let Some(path) = &args.live {
+            eprintln!(
+                "live telemetry written to {path} ({} lines, {} samples)",
+                live_report.events,
+                live_report.samples.len()
+            );
+        }
+    }
     if let (Some(path), Some(trace_session)) = (&args.trace, trace_session) {
         let trace = trace_session.finish();
         std::fs::write(path, trace.to_chrome_json())?;
@@ -104,16 +132,20 @@ struct SweepArgs {
     trace: Option<String>,
     checkpoint_dir: Option<String>,
     deadline_ms: Option<u64>,
+    live: Option<String>,
+    progress: bool,
 }
 
-/// Parses the optional `--metrics`, `--trace`, `--checkpoint` and
-/// `--deadline-ms` arguments.
+/// Parses the optional `--metrics`, `--trace`, `--checkpoint`,
+/// `--deadline-ms`, `--live` and `--progress` arguments.
 fn sweep_args() -> Result<SweepArgs, Box<dyn std::error::Error>> {
     let mut parsed = SweepArgs {
         metrics: None,
         trace: None,
         checkpoint_dir: None,
         deadline_ms: None,
+        live: None,
+        progress: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -132,6 +164,10 @@ fn sweep_args() -> Result<SweepArgs, Box<dyn std::error::Error>> {
                 let value = args.next().ok_or("--deadline-ms requires milliseconds")?;
                 parsed.deadline_ms = Some(value.parse().map_err(|_| "--deadline-ms: bad value")?);
             }
+            "--live" => {
+                parsed.live = Some(args.next().ok_or("--live requires a file path")?);
+            }
+            "--progress" => parsed.progress = true,
             _ => {}
         }
     }

@@ -1,0 +1,288 @@
+//! Live-telemetry integration tests: the NDJSON event stream must parse,
+//! match what the campaign actually did, and keep its determinism
+//! contract — event *contents* (counts, totals) bit-stable across thread
+//! counts, with only timestamps and rates varying.
+//!
+//! Every test holds the [`mnsim::obs::session`] lock before opening its
+//! live session; the lock serializes the tests in this binary, so the
+//! global telemetry hub is never shared between concurrently running
+//! tests.
+
+use mnsim::circuit::cg::CgOptions;
+use mnsim::circuit::solve::{Method, SolveOptions};
+use mnsim::circuit::{solve_robust, Circuit, RobustOptions};
+use mnsim::core::checkpoint::CheckpointPolicy;
+use mnsim::core::config::Config;
+use mnsim::core::error::CoreError;
+use mnsim::core::fault_sim::FaultConfig;
+use mnsim::core::simulator::Simulator;
+use mnsim::obs;
+use mnsim::obs::live::{self, LiveConfig};
+use mnsim::tech::fault::FaultRates;
+use mnsim::tech::units::{Resistance, Voltage};
+
+/// A per-test scratch path under the system temp directory.
+fn temp_path(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("mnsim_live_{}_{name}", std::process::id()))
+        .to_string_lossy()
+        .to_string()
+}
+
+fn fault_config(trials: usize) -> FaultConfig {
+    FaultConfig {
+        rates: FaultRates::stuck_at(0.02),
+        trials,
+        seed: 7,
+        ..FaultConfig::default()
+    }
+}
+
+/// The deterministic skeleton of one NDJSON line: the event tag plus its
+/// count/total fields, with timestamps, rates, ETAs, paths, and the
+/// timing-gated `sample`/`deadline_approaching` lines stripped.
+fn skeleton(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|line| {
+            obs::parse_json(line).unwrap_or_else(|e| panic!("unparseable line {line:?}: {e}"))
+        })
+        .filter_map(|value| {
+            let event = value
+                .get("event")
+                .and_then(|v| v.as_str())
+                .expect("every line tags its event")
+                .to_string();
+            let field = |key: &str| {
+                value
+                    .get(key)
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or_else(|| panic!("{event} lacks integer {key}"))
+            };
+            match event.as_str() {
+                "campaign_started" => Some(format!(
+                    "started {} {} {}",
+                    value.get("campaign").and_then(|v| v.as_str()).unwrap_or(""),
+                    field("total"),
+                    field("resumed"),
+                )),
+                "wave_completed" => Some(format!("wave {} {}", field("done"), field("total"))),
+                "checkpoint_written" => Some(format!("checkpoint {}", field("completed"))),
+                "campaign_finished" => Some(format!(
+                    "finished {} {} {}",
+                    field("done"),
+                    field("total"),
+                    value.get("outcome").and_then(|v| v.as_str()).unwrap_or(""),
+                )),
+                // Samples and deadline projections are timing-dependent
+                // and explicitly outside the determinism contract.
+                "sample" | "deadline_approaching" => None,
+                other => panic!("unexpected event tag {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn run_campaign(threads: usize, trials: usize) -> Vec<String> {
+    let session = obs::session();
+    let live = live::session(LiveConfig::default()).expect("live session opens");
+    let config = Config::fully_connected_mlp(&[64, 32]).expect("valid config");
+    Simulator::new(config)
+        .threads(threads)
+        .faults(fault_config(trials))
+        .run()
+        .expect("campaign completes");
+    let report = live.finish();
+    drop(session);
+    report.lines
+}
+
+/// Acceptance: event counts and contents are bit-stable across
+/// threads ∈ {1, 2, 7}; every line parses with [`obs::parse_json`]; the
+/// stream carries ETA and items/s fields on every wave event.
+#[test]
+fn event_stream_is_deterministic_across_thread_counts() {
+    let trials = 24;
+    let baseline = run_campaign(1, trials);
+    let base_skeleton = skeleton(&baseline);
+
+    // 24 trials at the live grain of ceil(24/8)=3 → exactly 8 waves, with
+    // cumulative done counts 3, 6, …, 24, framed by started/finished.
+    let mut expected = vec![format!("started fault_mc {trials} 0")];
+    expected.extend((1..=8).map(|wave| format!("wave {} {trials}", wave * 3)));
+    expected.push(format!("finished {trials} {trials} complete"));
+    assert_eq!(base_skeleton, expected);
+
+    // Every wave line carries numeric ETA and throughput.
+    for line in baseline.iter().filter(|l| l.contains("wave_completed")) {
+        let value = obs::parse_json(line).expect("wave line parses");
+        assert!(
+            value.get("eta_s").and_then(|v| v.as_f64()).is_some(),
+            "{line}"
+        );
+        assert!(
+            value
+                .get("items_per_s")
+                .and_then(|v| v.as_f64())
+                .is_some(),
+            "{line}"
+        );
+    }
+
+    for threads in [2, 7] {
+        let lines = run_campaign(threads, trials);
+        assert_eq!(
+            skeleton(&lines),
+            base_skeleton,
+            "event contents diverge at {threads} threads"
+        );
+    }
+}
+
+/// Acceptance: an interrupted (deadline-0) run still flushes a final
+/// `campaign_finished` event — to the file sink, not just the in-memory
+/// report, because each line is flushed as it is written.
+#[test]
+fn deadline_zero_run_flushes_final_event_to_sink() {
+    let sink = temp_path("deadline.ndjson");
+    let session = obs::session();
+    let live = live::session(LiveConfig::default().to_path(&sink)).expect("live session opens");
+    let config = Config::fully_connected_mlp(&[64, 32]).expect("valid config");
+    let err = Simulator::new(config)
+        .threads(2)
+        .faults(fault_config(8))
+        .deadline_ms(0)
+        .run()
+        .expect_err("an expired deadline interrupts the campaign");
+    assert!(matches!(err, CoreError::DeadlineExceeded { .. }), "{err}");
+    // Read the sink *before* finish(): the stream must already be on disk.
+    let on_disk = std::fs::read_to_string(&sink).expect("sink exists mid-session");
+    drop(live);
+    drop(session);
+    let _ = std::fs::remove_file(&sink);
+
+    let lines: Vec<&str> = on_disk.lines().collect();
+    assert!(!lines.is_empty(), "interrupted run wrote no events");
+    for line in &lines {
+        obs::parse_json(line).unwrap_or_else(|e| panic!("unparseable line {line:?}: {e}"));
+    }
+    let last = obs::parse_json(lines.last().expect("non-empty")).expect("final line parses");
+    assert_eq!(
+        last.get("event").and_then(|v| v.as_str()),
+        Some("campaign_finished")
+    );
+    assert_eq!(
+        last.get("outcome").and_then(|v| v.as_str()),
+        Some("interrupted")
+    );
+    assert_eq!(last.get("done").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(last.get("total").and_then(|v| v.as_u64()), Some(8));
+}
+
+/// Checkpointed campaigns emit one `checkpoint_written` per wave (the
+/// checkpoint cadence *is* the wave grain), and a zero-period sampler
+/// captures a counter time series exportable as NDJSON and CSV.
+#[test]
+fn checkpoint_events_match_waves_and_sampler_exports() {
+    let ckpt = temp_path("ckpt.json");
+    let _ = std::fs::remove_file(&ckpt);
+    let session = obs::session();
+    let live = live::session(
+        LiveConfig::default().with_sample_period(std::time::Duration::ZERO),
+    )
+    .expect("live session opens");
+    let config = Config::fully_connected_mlp(&[64, 32]).expect("valid config");
+    Simulator::new(config)
+        .threads(2)
+        .faults(fault_config(8))
+        .checkpoint(CheckpointPolicy::new(&ckpt).every(4))
+        .run()
+        .expect("campaign completes");
+    let report = live.finish();
+    drop(session);
+    let _ = std::fs::remove_file(&ckpt);
+
+    let events: Vec<String> = skeleton(&report.lines);
+    // 8 trials at cadence 4 → 2 waves, each persisting then reporting.
+    let expected = vec![
+        "started fault_mc 8 0".to_string(),
+        "checkpoint 4".to_string(),
+        "wave 4 8".to_string(),
+        "checkpoint 8".to_string(),
+        "wave 8 8".to_string(),
+        "finished 8 8 complete".to_string(),
+    ];
+    assert_eq!(events, expected);
+    // The checkpoint events name the actual checkpoint path.
+    for line in report.lines.iter().filter(|l| l.contains("checkpoint_written")) {
+        let value = obs::parse_json(line).expect("checkpoint line parses");
+        assert_eq!(value.get("path").and_then(|v| v.as_str()), Some(ckpt.as_str()));
+    }
+
+    // Zero-period sampling: at least one sample per emission, counter
+    // deltas sum to the campaign's trial total, both exports well-formed.
+    assert!(!report.samples.is_empty());
+    let trials_sampled: u64 = report
+        .samples
+        .points
+        .iter()
+        .filter_map(|p| p.counters.get("core.fault.trials"))
+        .sum();
+    assert_eq!(trials_sampled, 8);
+    for line in report.samples.to_ndjson().lines() {
+        obs::parse_json(line).expect("sample NDJSON parses");
+    }
+    assert!(report.samples.to_csv().starts_with("t_s,kind,name,value\n"));
+}
+
+/// A solver health guard cutting a recovery rung short emits a
+/// `guard_tripped` event naming the rung and the guard.
+#[test]
+fn guard_trip_emits_live_event() {
+    // A series resistor ladder with an unreachable CG tolerance and a
+    // tight stagnation window: the base rung stagnates, the guard hands
+    // the ladder to the relaxed rung early.
+    let mut c = Circuit::new();
+    let top = c.add_node();
+    c.add_voltage_source(top, Circuit::GROUND, Voltage::from_volts(1.0))
+        .expect("valid source");
+    let mut prev = top;
+    for _ in 0..40 {
+        let next = c.add_node();
+        c.add_resistor(prev, next, Resistance::from_kilo_ohms(1.0))
+            .expect("valid resistor");
+        prev = next;
+    }
+    c.add_resistor(prev, Circuit::GROUND, Resistance::from_kilo_ohms(1.0))
+        .expect("valid resistor");
+    let mut options = RobustOptions {
+        base: SolveOptions {
+            method: Method::Cg,
+            ..SolveOptions::default()
+        },
+        ..RobustOptions::default()
+    };
+    options.base.cg = CgOptions {
+        tolerance: 1e-30,
+        stagnation_window: Some(3),
+        ..CgOptions::default()
+    };
+
+    let session = obs::session();
+    let live = live::session(LiveConfig::default()).expect("live session opens");
+    solve_robust(&c, &options).expect("ladder recovers");
+    let report = live.finish();
+    drop(session);
+
+    let guard_line = report
+        .lines
+        .iter()
+        .find(|l| l.contains("guard_tripped"))
+        .expect("stagnation guard emitted a live event");
+    let value = obs::parse_json(guard_line).expect("guard line parses");
+    assert_eq!(value.get("stage").and_then(|v| v.as_str()), Some("base"));
+    assert_eq!(
+        value.get("guard").and_then(|v| v.as_str()),
+        Some("stagnated")
+    );
+}

@@ -294,6 +294,20 @@ fn disabled_instrumentation_overhead_is_negligible() {
         per_trace_op * 1e9
     );
 
+    // Disabled live-telemetry ops: outside a live session every emission
+    // helper must reduce to one relaxed atomic load and a branch.
+    let started = Instant::now();
+    for i in 0..OPS {
+        obs::live::wave_completed(i as usize % 100, 100, None);
+        let _ = obs::live::wave_grain(100);
+    }
+    let per_live_op = started.elapsed().as_secs_f64() / f64::from(OPS) / 2.0;
+    assert!(
+        per_live_op < 25e-9,
+        "disabled live-telemetry op costs {:.1} ns",
+        per_live_op * 1e9
+    );
+
     // Measured per-point cost of a disabled-registry sweep. Each
     // measurement repeats the sweep to rise above timer noise.
     let base = Config::fully_connected_mlp(&[512, 256]).unwrap();
@@ -334,6 +348,18 @@ fn disabled_instrumentation_overhead_is_negligible() {
         trace_overhead_fraction < 0.02,
         "disabled tracing costs {:.2} % of a {:.2} µs DSE point",
         trace_overhead_fraction * 100.0,
+        per_point * 1e6
+    );
+
+    // Live telemetry's disabled call sites sit at *wave* granularity (a
+    // handful per campaign), far sparser than the per-point ops bounded
+    // above — so even the same generous 32-ops-per-point over-count must
+    // stay under the 2 % contract.
+    let live_overhead_fraction = 32.0 * per_live_op / per_point;
+    assert!(
+        live_overhead_fraction < 0.02,
+        "disabled live telemetry costs {:.2} % of a {:.2} µs DSE point",
+        live_overhead_fraction * 100.0,
         per_point * 1e6
     );
 }
