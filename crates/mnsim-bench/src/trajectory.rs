@@ -307,6 +307,74 @@ fn dc_solve_batch_workload() -> impl FnMut() {
     }
 }
 
+/// Crossbar edge of the sparse cold-vs-refactor pair: the acceptance size
+/// (256×256 → ~131k unknowns) in release, scaled down in debug so the
+/// quick suite under `cargo test` stays interactive. Both sizes sit far
+/// past the dense cutoff, so `Method::SparseLu` measures the same engine.
+const SPARSE_BENCH_SIZE: usize = if cfg!(debug_assertions) { 32 } else { 256 };
+
+/// A uniform crossbar for the sparse pair with every cell at
+/// `state_kohms`; varying only the state keeps the sparsity pattern
+/// identical across instances, which is what refactorization requires.
+fn sparse_bench_crossbar(state_kohms: f64) -> CrossbarCircuit {
+    CrossbarSpec::uniform(
+        SPARSE_BENCH_SIZE,
+        SPARSE_BENCH_SIZE,
+        Resistance::from_kilo_ohms(state_kohms),
+        Resistance::from_ohms(2.0),
+        Resistance::from_ohms(500.0),
+        Voltage::from_volts(1.0),
+    )
+    .build()
+    .expect("uniform crossbar builds")
+}
+
+/// Cold sparse-direct path: every repetition re-assembles, re-analyzes
+/// (BTF + AMD) and re-factors the reduced system from scratch.
+fn dc_solve_sparse_cold_workload() -> impl FnMut() {
+    let xbar = sparse_bench_crossbar(10.0);
+    let options = SolveOptions {
+        method: Method::SparseLu,
+        ..SolveOptions::default()
+    };
+    move || {
+        let solution = solve_dc(xbar.circuit(), &options).expect("healthy array solves");
+        assert!(solution.voltages().iter().all(|v| v.is_finite()));
+    }
+}
+
+/// Refactor fast path: one [`PreparedSystem`] holds the symbolic analysis
+/// and pivot order; every repetition swaps in new cell conductances (same
+/// pattern), replays the cached elimination program, and backsolves —
+/// the per-trial regime of a fault campaign or a reprogrammed layer.
+fn dc_solve_sparse_refactor_workload() -> impl FnMut() {
+    let states = [sparse_bench_crossbar(10.0), sparse_bench_crossbar(12.5)];
+    let drive = vec![Voltage::from_volts(1.0); SPARSE_BENCH_SIZE];
+    let rhs = states[0].input_rhs(&drive).expect("arity matches");
+    let options = BatchOptions {
+        base: SolveOptions {
+            method: Method::SparseLu,
+            ..SolveOptions::default()
+        },
+        ..BatchOptions::default()
+    };
+    let mut prepared =
+        PreparedSystem::build(states[0].circuit(), options).expect("linear crossbar prepares");
+    let mut flip = 0usize;
+    move || {
+        // Alternate between the two programmed states so every repetition
+        // performs a genuine value change, never an exact cache hit.
+        flip ^= 1;
+        let circuit = states[flip].circuit();
+        let refreshed = prepared
+            .try_value_refresh(circuit)
+            .expect("same-pattern refresh succeeds");
+        assert!(refreshed, "sparse engine must refresh in place");
+        let solution = prepared.solve(circuit, &rhs).expect("healthy array solves");
+        assert!(solution.voltages().iter().all(|v| v.is_finite()));
+    }
+}
+
 /// Runs the fixed benchmark suite.
 ///
 /// `quick` lowers the repetition count (used by tests and the CI smoke
@@ -327,6 +395,16 @@ pub fn run_suite(quick: bool) -> Result<BenchReport, String> {
             dc_solve_multi_serial_workload(),
         ),
         bench_entry("dc_solve_batch", runs, dc_solve_batch_workload()),
+        bench_entry(
+            "dc_solve_sparse_cold",
+            runs,
+            dc_solve_sparse_cold_workload(),
+        ),
+        bench_entry(
+            "dc_solve_sparse_refactor",
+            runs,
+            dc_solve_sparse_refactor_workload(),
+        ),
     ];
 
     let mlp = Config::fully_connected_mlp(&[512, 256, 128]).map_err(|e| e.to_string())?;
@@ -748,6 +826,16 @@ mod tests {
             batch * 2.0 <= serial,
             "batched multi-RHS solve is only {:.2}x faster than serial",
             serial / batch
+        );
+        // Replaying the cached pivot order must beat a from-scratch
+        // symbolic analysis + pivoting factorization by at least 2× —
+        // that gap is the whole justification for the refactor rung.
+        let sparse_cold = median_of("dc_solve_sparse_cold");
+        let sparse_refactor = median_of("dc_solve_sparse_refactor");
+        assert!(
+            sparse_refactor * 2.0 <= sparse_cold,
+            "sparse refactor is only {:.2}x faster than a cold factorization",
+            sparse_cold / sparse_refactor
         );
         // The exec engine must turn hardware parallelism into wall-clock
         // speedup on the VGG-16 batch. A wall-clock multiple is only

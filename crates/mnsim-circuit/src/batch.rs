@@ -39,8 +39,9 @@ use mnsim_tech::units::Voltage;
 use crate::cg::solve_cg_warm;
 use crate::dense::{DenseMatrix, LuFactors};
 use crate::error::CircuitError;
+use crate::klu::SparseLu;
 use crate::mna::{Circuit, DcSolution, Element};
-use crate::solve::{finish, linearize, Linearized, Method, SolveOptions, DENSE_CUTOFF};
+use crate::solve::{auto_engine, finish, linearize, LinearEngine, Linearized, Method, SolveOptions};
 use crate::sparse::{CsrMatrix, TripletMatrix};
 
 static BATCH_BUILDS: obs::Counter = obs::Counter::new("circuit.batch.prepared_builds");
@@ -68,6 +69,12 @@ static BATCH_REUSE_RATIO: obs::Gauge = obs::Gauge::new("circuit.batch.reuse_rati
 /// prepared system minus each warm solve's iteration count (saturating).
 static BATCH_WARM_ITERS_SAVED: obs::Counter =
     obs::Counter::new("circuit.batch.warm_iterations_saved");
+/// Sparse-direct back-substitutions through the batch path.
+static BATCH_SPARSE: obs::Counter = obs::Counter::new("circuit.batch.sparse_backsolves");
+/// Value-only refreshes through [`prepare_or_reuse`]: the cached sparse
+/// factorization was updated in place via [`SparseLu::refresh`] instead of
+/// rebuilding the whole prepared system.
+static VALUE_REFRESHES: obs::Counter = obs::Counter::new("circuit.batch.value_refreshes");
 
 /// Warm-start policy for the conjugate-gradient path of a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -143,10 +150,32 @@ enum BOp {
 enum ReducedEngine {
     /// Cached dense LU over the reduced system.
     Dense(LuFactors),
+    /// Cached KLU-style sparse direct LU; value-only structure changes
+    /// refresh it in place through [`SparseLu::refresh`].
+    Sparse(SparseLu),
     /// Sparse matrix for (warm-started) conjugate gradients.
     Cg(CsrMatrix),
     /// No unknowns at all (every node driven or ground).
     Empty,
+}
+
+/// Which concrete engine a [`PreparedSystem`] ended up with — the
+/// observable face of the dense/sparse/CG dispatch, for tests and
+/// diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Reduced system with a cached dense LU.
+    Dense,
+    /// Reduced system with a cached sparse direct LU ([`crate::klu`]).
+    SparseDirect,
+    /// Reduced system solved iteratively (warm-started CG).
+    Iterative,
+    /// Reduced system with zero unknowns.
+    Empty,
+    /// Full modified nodal analysis (floating sources), cached dense LU.
+    FullMna,
+    /// Non-linear circuit: per-solve Newton fallback.
+    Nonlinear,
 }
 
 #[derive(Debug, Clone)]
@@ -178,6 +207,11 @@ enum SystemKind {
 #[derive(Debug, Clone)]
 pub struct PreparedSystem {
     fingerprint: u64,
+    /// Structure-only fingerprint (element kinds and nodes, no values):
+    /// when this still matches but the full fingerprint does not, only
+    /// conductance/current *values* changed and the sparse engine can be
+    /// refreshed in place instead of rebuilt.
+    structure_fingerprint: u64,
     node_count: usize,
     n_sources: usize,
     options: BatchOptions,
@@ -212,12 +246,14 @@ impl PreparedSystem {
         let _trace_span = obs::trace::span("circuit.batch.build", obs::trace::Level::Stage);
         BATCH_BUILDS.inc();
         let fingerprint = circuit_fingerprint(circuit);
+        let structure_fingerprint = circuit_structure_fingerprint(circuit);
         let n_sources = circuit.source_count();
         let node_count = circuit.node_count();
 
         if circuit.is_nonlinear() {
             return Ok(PreparedSystem {
                 fingerprint,
+                structure_fingerprint,
                 node_count,
                 n_sources,
                 options,
@@ -259,6 +295,7 @@ impl PreparedSystem {
 
         Ok(PreparedSystem {
             fingerprint,
+            structure_fingerprint,
             node_count,
             n_sources,
             options,
@@ -291,6 +328,13 @@ impl PreparedSystem {
         circuit_fingerprint(circuit) == self.fingerprint
     }
 
+    /// `true` when `circuit` has the same element *structure* (kinds and
+    /// nodes) even if conductance/current values differ — the precondition
+    /// for an in-place value refresh of the sparse engine.
+    pub fn matches_structure(&self, circuit: &Circuit) -> bool {
+        circuit_structure_fingerprint(circuit) == self.structure_fingerprint
+    }
+
     /// `true` when the iterative (CG) engine is active, i.e. warm starts
     /// apply.
     pub fn uses_cg(&self) -> bool {
@@ -303,10 +347,82 @@ impl PreparedSystem {
         )
     }
 
+    /// The concrete engine this system dispatches to.
+    pub fn engine_kind(&self) -> EngineKind {
+        match &self.kind {
+            SystemKind::Nonlinear => EngineKind::Nonlinear,
+            SystemKind::FullMna { .. } => EngineKind::FullMna,
+            SystemKind::Reduced { engine, .. } => match engine {
+                ReducedEngine::Dense(_) => EngineKind::Dense,
+                ReducedEngine::Sparse(_) => EngineKind::SparseDirect,
+                ReducedEngine::Cg(_) => EngineKind::Iterative,
+                ReducedEngine::Empty => EngineKind::Empty,
+            },
+        }
+    }
+
     /// Per-solve CG iteration counts of the most recent [`Self::solve_batch`]
     /// call (0 entries for dense/full-MNA/fallback solves).
     pub fn last_cg_iterations(&self) -> &[usize] {
         &self.last_iterations
+    }
+
+    /// Attempts to update this system in place for a circuit whose element
+    /// *values* changed but whose structure did not (a fault overlay or
+    /// variation resample). Only the sparse-direct engine supports this: the
+    /// cached symbolic analysis and elimination program are replayed on the
+    /// new values via [`SparseLu::refresh`], which is much cheaper than a
+    /// full rebuild.
+    ///
+    /// Returns `Ok(true)` when the refresh succeeded (the system now solves
+    /// the new circuit), `Ok(false)` when this engine or structure cannot be
+    /// refreshed and the caller should rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures from the fallback factorization inside
+    /// [`SparseLu::refresh`] (e.g. the new values made the matrix
+    /// numerically singular).
+    pub fn try_value_refresh(&mut self, circuit: &Circuit) -> Result<bool, CircuitError> {
+        if !self.matches_structure(circuit) || circuit.is_nonlinear() {
+            return Ok(false);
+        }
+        let SystemKind::Reduced {
+            engine: ReducedEngine::Sparse(lu),
+            index,
+            unknowns,
+            ops,
+            bindings,
+        } = &mut self.kind
+        else {
+            return Ok(false);
+        };
+
+        let lin = linearize(circuit, None);
+        let assembly = assemble_reduced(circuit, &lin, bindings);
+        // Same structure fingerprint → same unknown numbering and sparsity
+        // pattern; anything else means the fingerprint missed a structural
+        // change, so refuse the fast path rather than risk a wrong refresh.
+        if assembly.unknowns != *unknowns || assembly.index != *index {
+            return Ok(false);
+        }
+        let csc = assembly.triplets.to_csc();
+        match lu.refresh(&csc) {
+            Ok(_bit_fast) => {}
+            // Pattern drift (a conductance collapsed to an explicit zero,
+            // say) is not an error — it just means the fast path is off.
+            Err(CircuitError::SingularSystem { .. }) if !lu.symbolic().compatible_with(&csc) => {
+                return Ok(false);
+            }
+            Err(e) => return Err(e),
+        }
+        *ops = assembly.ops;
+        self.lin = lin;
+        self.fingerprint = circuit_fingerprint(circuit);
+        self.last_x = None;
+        self.cold_iterations = None;
+        VALUE_REFRESHES.inc();
+        Ok(true)
     }
 
     /// Solves a single right-hand side. Equivalent to a one-element
@@ -453,6 +569,11 @@ impl PreparedSystem {
                         self.last_iterations.push(0);
                         lu.solve(&b)?
                     }
+                    ReducedEngine::Sparse(lu) => {
+                        BATCH_SPARSE.inc();
+                        self.last_iterations.push(0);
+                        lu.solve(&b)
+                    }
                     ReducedEngine::Cg(csr) => {
                         let x0: Option<&[f64]> = match self.options.warm_start {
                             WarmStart::Cold => None,
@@ -531,11 +652,14 @@ pub fn solve_dc_batch(
 }
 
 /// Reuses `slot`'s prepared system when it still matches `circuit` (same
-/// fingerprint and options); rebuilds it otherwise.
+/// fingerprint and options); refreshes the cached sparse factorization in
+/// place when only element *values* changed; rebuilds otherwise.
 ///
 /// This is the invalidation idiom for call sites whose conductances change
-/// between batches (fault overlays, variation resamples): the stale system
-/// is dropped and rebuilt instead of erroring.
+/// between batches (fault overlays, variation resamples): a value-only
+/// change on the sparse-direct engine replays the cached elimination
+/// program ([`SparseLu::refresh`] — the `solver.klu.refactor` fast path),
+/// and anything else drops the stale system and rebuilds.
 ///
 /// # Errors
 ///
@@ -545,9 +669,11 @@ pub fn prepare_or_reuse<'a>(
     circuit: &Circuit,
     options: &BatchOptions,
 ) -> Result<&'a mut PreparedSystem, CircuitError> {
-    let rebuild = match slot.as_ref() {
+    let rebuild = match slot.as_mut() {
         Some(prepared) => {
-            if prepared.matches(circuit) && prepared.options() == options {
+            if prepared.options() == options
+                && (prepared.matches(circuit) || prepared.try_value_refresh(circuit)?)
+            {
                 CACHE_HITS.inc();
                 false
             } else {
@@ -647,15 +773,76 @@ pub fn circuit_fingerprint(circuit: &Circuit) -> u64 {
     h
 }
 
+/// FNV-1a over element kinds and node connections only — no conductance,
+/// current, or capacitance *values*. Two circuits with equal structure
+/// fingerprints assemble reduced systems with identical sparsity patterns,
+/// which is the precondition for refreshing a cached sparse factorization
+/// in place instead of rebuilding it.
+pub fn circuit_structure_fingerprint(circuit: &Circuit) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(PRIME);
+    };
+    mix(circuit.node_count() as u64);
+    mix(circuit.element_count() as u64);
+    for element in circuit.elements() {
+        match element {
+            Element::Resistor { n1, n2, .. } => {
+                mix(1);
+                mix(*n1 as u64);
+                mix(*n2 as u64);
+            }
+            Element::VoltageSource { npos, nneg, .. } => {
+                mix(2);
+                mix(*npos as u64);
+                mix(*nneg as u64);
+            }
+            Element::CurrentSource { from, to, .. } => {
+                mix(3);
+                mix(*from as u64);
+                mix(*to as u64);
+            }
+            Element::Memristor { n1, n2, iv, .. } => {
+                mix(4);
+                mix(*n1 as u64);
+                mix(*n2 as u64);
+                // The IV *kind* is structural: switching linear ↔ sinh
+                // changes the solve strategy, not just values.
+                match iv {
+                    mnsim_tech::memristor::IvModel::Linear => mix(0),
+                    mnsim_tech::memristor::IvModel::Sinh { .. } => mix(1),
+                }
+            }
+            Element::Capacitor { n1, n2, .. } => {
+                mix(5);
+                mix(*n1 as u64);
+                mix(*n2 as u64);
+            }
+        }
+    }
+    h
+}
+
+/// The structure-dependent assembly of a reduced system: unknown
+/// numbering, stamped matrix, and RHS replay plan.
+struct ReducedAssembly {
+    index: Vec<usize>,
+    unknowns: usize,
+    triplets: TripletMatrix,
+    ops: Vec<BOp>,
+}
+
 /// Assembles the reduced SPD system and its RHS replay plan. Mirrors
 /// `solve::solve_reduced` stamp-for-stamp so a cold-started batch is
 /// bitwise identical to the serial path.
-fn build_reduced(
+fn assemble_reduced(
     circuit: &Circuit,
     lin: &[Option<Linearized>],
     bindings: &[(usize, f64)],
-    options: &BatchOptions,
-) -> Result<SystemKind, CircuitError> {
+) -> ReducedAssembly {
     let n_nodes = circuit.node_count();
     let mut is_driven = vec![false; n_nodes];
     for &(node, _) in bindings {
@@ -731,19 +918,49 @@ fn build_reduced(
         }
     }
 
+    ReducedAssembly {
+        index,
+        unknowns,
+        triplets,
+        ops,
+    }
+}
+
+/// Assembles the reduced system and attaches the linear engine selected by
+/// `options.base.method` (dense LU below [`crate::solve`]'s cutoff, sparse
+/// direct LU up to very large systems, CG beyond — or whichever the caller
+/// pinned explicitly).
+fn build_reduced(
+    circuit: &Circuit,
+    lin: &[Option<Linearized>],
+    bindings: &[(usize, f64)],
+    options: &BatchOptions,
+) -> Result<SystemKind, CircuitError> {
+    let ReducedAssembly {
+        index,
+        unknowns,
+        triplets,
+        ops,
+    } = assemble_reduced(circuit, lin, bindings);
+
     let engine = if unknowns == 0 {
         ReducedEngine::Empty
     } else {
-        let use_dense = match options.base.method {
-            Method::Cg => false,
-            Method::DenseLu => true,
-            Method::Auto => unknowns < DENSE_CUTOFF,
+        let choice = match options.base.method {
+            Method::Cg => LinearEngine::Cg,
+            Method::DenseLu => LinearEngine::Dense,
+            Method::SparseLu => LinearEngine::Sparse,
+            Method::Auto => auto_engine(unknowns),
         };
-        let csr = triplets.to_csr();
-        if use_dense {
-            ReducedEngine::Dense(DenseMatrix::from_rows(&csr.to_dense()).factor()?)
-        } else {
-            ReducedEngine::Cg(csr)
+        match choice {
+            LinearEngine::Dense => {
+                let csr = triplets.to_csr();
+                ReducedEngine::Dense(DenseMatrix::from_rows(&csr.to_dense()).factor()?)
+            }
+            LinearEngine::Sparse => {
+                ReducedEngine::Sparse(SparseLu::factor(&triplets.to_csc())?)
+            }
+            LinearEngine::Cg => ReducedEngine::Cg(triplets.to_csr()),
         }
     };
 
@@ -904,10 +1121,14 @@ mod tests {
 
     #[test]
     fn batch_matches_serial_bitwise_on_cold_cg_path() {
-        let xbar = spec(8, 8).build().unwrap(); // 128 unknowns → Auto = CG
+        let xbar = spec(8, 8).build().unwrap(); // 128 unknowns
+        let serial_options = SolveOptions {
+            method: Method::Cg,
+            ..SolveOptions::default()
+        };
         let options = BatchOptions {
+            base: serial_options.clone(),
             warm_start: WarmStart::Cold,
-            ..BatchOptions::default()
         };
         let mut prepared = PreparedSystem::build(xbar.circuit(), options).unwrap();
         assert!(prepared.uses_cg());
@@ -916,9 +1137,60 @@ mod tests {
             let rhs = Rhs::from_voltages(&inputs);
             let got = prepared.solve(xbar.circuit(), &rhs).unwrap();
             let patched = xbar.circuit().with_source_voltages(&inputs).unwrap();
+            let want = solve_dc(&patched, &serial_options).unwrap();
+            assert_eq!(got.voltages(), want.voltages());
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_bitwise_on_sparse_path() {
+        let xbar = spec(8, 8).build().unwrap(); // 128 unknowns → Auto = sparse
+        let options = BatchOptions::default();
+        let mut prepared = PreparedSystem::build(xbar.circuit(), options).unwrap();
+        assert_eq!(prepared.engine_kind(), EngineKind::SparseDirect);
+        for k in 0..3 {
+            let inputs = ramp_inputs(8, k);
+            let rhs = Rhs::from_voltages(&inputs);
+            let got = prepared.solve(xbar.circuit(), &rhs).unwrap();
+            let patched = xbar.circuit().with_source_voltages(&inputs).unwrap();
             let want = solve_dc(&patched, &SolveOptions::default()).unwrap();
             assert_eq!(got.voltages(), want.voltages());
         }
+    }
+
+    #[test]
+    fn value_only_change_refreshes_sparse_system_in_place() {
+        let clean = spec(8, 8).build().unwrap(); // 128 unknowns → sparse
+        let mut faulty_spec = spec(8, 8);
+        faulty_spec.states[13] = Resistance::from_kilo_ohms(100.0);
+        let faulty = faulty_spec.build().unwrap();
+
+        let mut slot: Option<PreparedSystem> = None;
+        let options = BatchOptions::default();
+        prepare_or_reuse(&mut slot, clean.circuit(), &options).unwrap();
+        assert_eq!(
+            slot.as_ref().unwrap().engine_kind(),
+            EngineKind::SparseDirect
+        );
+        obs::set_enabled(true);
+        let refreshes_before = VALUE_REFRESHES.get();
+
+        // Same structure, different memristor value → refresh, not rebuild.
+        let prepared = prepare_or_reuse(&mut slot, faulty.circuit(), &options).unwrap();
+        assert_eq!(VALUE_REFRESHES.get(), refreshes_before + 1);
+        assert!(prepared.matches(faulty.circuit()));
+
+        // The refreshed system must solve the *new* circuit exactly as a
+        // cold build would.
+        let inputs = ramp_inputs(8, 2);
+        let got = prepared
+            .solve(faulty.circuit(), &Rhs::from_voltages(&inputs))
+            .unwrap();
+        let mut cold = PreparedSystem::build(faulty.circuit(), options).unwrap();
+        let want = cold
+            .solve(faulty.circuit(), &Rhs::from_voltages(&inputs))
+            .unwrap();
+        assert_eq!(got.voltages(), want.voltages());
     }
 
     #[test]
@@ -1026,14 +1298,17 @@ mod tests {
 
     #[test]
     fn warm_start_reduces_iterations_on_correlated_batch() {
-        let xbar = spec(10, 10).build().unwrap(); // 200 unknowns → CG
+        let xbar = spec(10, 10).build().unwrap(); // 200 unknowns
         let batch: Vec<Rhs> = (0..6)
             .map(|k| Rhs::from_voltages(&ramp_inputs(10, k)))
             .collect();
         let run = |warm_start: WarmStart| -> Vec<usize> {
             let options = BatchOptions {
+                base: SolveOptions {
+                    method: Method::Cg,
+                    ..SolveOptions::default()
+                },
                 warm_start,
-                ..BatchOptions::default()
             };
             let mut prepared = PreparedSystem::build(xbar.circuit(), options).unwrap();
             prepared.solve_batch(xbar.circuit(), &batch).unwrap();

@@ -9,9 +9,13 @@
 //! * [`mna`] — circuit representation (resistors, sources, memristors),
 //! * [`solve`] — DC operating-point analysis with Newton-Raphson for
 //!   non-linear memristor cells,
+//! * [`klu`] — KLU-style sparse direct solver (BTF + AMD + Gilbert–Peierls
+//!   LU) with a cached symbolic analysis and a numeric-only `refactor()`
+//!   fast path for same-pattern value updates,
 //! * [`batch`] — multi-RHS solving over a [`batch::PreparedSystem`] that
-//!   caches the assembled system (and dense LU) per conductance structure
-//!   and warm-starts CG across correlated inputs,
+//!   caches the assembled system (dense LU below 96 unknowns, sparse LU
+//!   above) per conductance structure and warm-starts CG across correlated
+//!   inputs,
 //! * [`crossbar`] — memristor-crossbar netlist construction matching the
 //!   paper's resistor-network model (cells + `2MN` wire segments + sensing
 //!   resistors), with optional hard-defect overlays (stuck cells, broken
@@ -60,6 +64,7 @@ pub mod cg;
 pub mod crossbar;
 pub mod dense;
 pub mod error;
+pub mod klu;
 pub mod mna;
 pub mod netlist;
 pub mod recovery;
@@ -72,6 +77,7 @@ pub use batch::{
 };
 pub use crossbar::{CrossbarCircuit, CrossbarSpec, FaultOverlay};
 pub use error::CircuitError;
+pub use klu::{analyze, RefactorError, SparseLu, SymbolicAnalysis};
 pub use mna::{Circuit, DcSolution, Element, NodeId};
 pub use cg::{CgOptions, IterationCap};
 pub use recovery::{

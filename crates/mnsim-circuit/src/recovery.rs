@@ -37,14 +37,17 @@ static EARLY_ESCALATIONS: obs::Counter = obs::Counter::new("solver.early_escalat
 
 static ATTEMPT_BASE: obs::Counter = obs::Counter::new("circuit.recovery.attempts.base");
 static ATTEMPT_RELAXED: obs::Counter = obs::Counter::new("circuit.recovery.attempts.relaxed_cg");
+static ATTEMPT_SPARSE: obs::Counter = obs::Counter::new("circuit.recovery.attempts.sparse_lu");
 static ATTEMPT_DENSE: obs::Counter = obs::Counter::new("circuit.recovery.attempts.dense_lu");
 static ACCEPT_BASE: obs::Counter = obs::Counter::new("circuit.recovery.accepted.base");
 static ACCEPT_RELAXED: obs::Counter = obs::Counter::new("circuit.recovery.accepted.relaxed_cg");
+static ACCEPT_SPARSE: obs::Counter = obs::Counter::new("circuit.recovery.accepted.sparse_lu");
 static ACCEPT_DENSE: obs::Counter = obs::Counter::new("circuit.recovery.accepted.dense_lu");
 /// Per-rung dwell time: how long each attempt (successful or not) spent
 /// on its rung before accepting or escalating.
 static DWELL_BASE: obs::Span = obs::Span::new("circuit.recovery.dwell.base");
 static DWELL_RELAXED: obs::Span = obs::Span::new("circuit.recovery.dwell.relaxed_cg");
+static DWELL_SPARSE: obs::Span = obs::Span::new("circuit.recovery.dwell.sparse_lu");
 static DWELL_DENSE: obs::Span = obs::Span::new("circuit.recovery.dwell.dense_lu");
 
 impl RecoveryStage {
@@ -53,6 +56,7 @@ impl RecoveryStage {
         match self {
             RecoveryStage::Base => "recovery.attempt.base",
             RecoveryStage::RelaxedCg => "recovery.attempt.relaxed_cg",
+            RecoveryStage::SparseLu => "recovery.attempt.sparse_lu",
             RecoveryStage::DenseLu => "recovery.attempt.dense_lu",
         }
     }
@@ -61,6 +65,7 @@ impl RecoveryStage {
         match self {
             RecoveryStage::Base => &ATTEMPT_BASE,
             RecoveryStage::RelaxedCg => &ATTEMPT_RELAXED,
+            RecoveryStage::SparseLu => &ATTEMPT_SPARSE,
             RecoveryStage::DenseLu => &ATTEMPT_DENSE,
         }
     }
@@ -69,6 +74,7 @@ impl RecoveryStage {
         match self {
             RecoveryStage::Base => &ACCEPT_BASE,
             RecoveryStage::RelaxedCg => &ACCEPT_RELAXED,
+            RecoveryStage::SparseLu => &ACCEPT_SPARSE,
             RecoveryStage::DenseLu => &ACCEPT_DENSE,
         }
     }
@@ -77,6 +83,7 @@ impl RecoveryStage {
         match self {
             RecoveryStage::Base => &DWELL_BASE,
             RecoveryStage::RelaxedCg => &DWELL_RELAXED,
+            RecoveryStage::SparseLu => &DWELL_SPARSE,
             RecoveryStage::DenseLu => &DWELL_DENSE,
         }
     }
@@ -107,6 +114,10 @@ pub enum RecoveryStage {
     Base,
     /// Conjugate gradients with relaxed tolerance and a raised iteration cap.
     RelaxedCg,
+    /// Sparse direct LU ([`crate::klu`]) — exact like the dense rung but
+    /// `O(fill)` instead of `O(n³)`, so it rescues ill-conditioned systems
+    /// that stall CG without paying the dense price.
+    SparseLu,
     /// Dense LU over the full system.
     DenseLu,
 }
@@ -116,6 +127,7 @@ impl std::fmt::Display for RecoveryStage {
         match self {
             RecoveryStage::Base => write!(f, "base"),
             RecoveryStage::RelaxedCg => write!(f, "relaxed-cg"),
+            RecoveryStage::SparseLu => write!(f, "sparse-lu"),
             RecoveryStage::DenseLu => write!(f, "dense-lu"),
         }
     }
@@ -140,6 +152,11 @@ pub enum SolveGuard {
     /// No new best residual over the stagnation window
     /// ([`CircuitError::LinearStagnated`]).
     Stagnated,
+    /// Direct factorization hit a zero or vanishing pivot
+    /// ([`CircuitError::SingularSystem`]) — the system is singular under
+    /// that rung's elimination, so it escalates immediately rather than
+    /// returning garbage.
+    SingularPivot,
 }
 
 impl std::fmt::Display for SolveGuard {
@@ -147,6 +164,7 @@ impl std::fmt::Display for SolveGuard {
         match self {
             SolveGuard::NonFinite => write!(f, "non-finite"),
             SolveGuard::Stagnated => write!(f, "stagnated"),
+            SolveGuard::SingularPivot => write!(f, "singular-pivot"),
         }
     }
 }
@@ -217,6 +235,10 @@ pub fn solve_robust(
         },
         ..options.base.clone()
     };
+    let sparse = SolveOptions {
+        method: Method::SparseLu,
+        ..options.base.clone()
+    };
     let dense = SolveOptions {
         method: Method::DenseLu,
         ..options.base.clone()
@@ -224,6 +246,7 @@ pub fn solve_robust(
     let ladder = [
         (RecoveryStage::Base, options.base.clone()),
         (RecoveryStage::RelaxedCg, relaxed),
+        (RecoveryStage::SparseLu, sparse),
         (RecoveryStage::DenseLu, dense),
     ];
 
@@ -257,6 +280,7 @@ pub fn solve_robust(
                 let guard = match &error {
                     CircuitError::LinearNonFinite { .. } => Some(SolveGuard::NonFinite),
                     CircuitError::LinearStagnated { .. } => Some(SolveGuard::Stagnated),
+                    CircuitError::SingularSystem { .. } => Some(SolveGuard::SingularPivot),
                     _ => None,
                 };
                 if let Some(guard) = guard {
@@ -297,6 +321,7 @@ fn attempt(
             stage: match stage {
                 RecoveryStage::Base => "base",
                 RecoveryStage::RelaxedCg => "relaxed-cg",
+                RecoveryStage::SparseLu => "sparse-lu",
                 RecoveryStage::DenseLu => "dense-lu",
             },
         });
@@ -496,6 +521,12 @@ mod tests {
     fn stage_display_names() {
         assert_eq!(RecoveryStage::Base.to_string(), "base");
         assert_eq!(RecoveryStage::RelaxedCg.to_string(), "relaxed-cg");
+        assert_eq!(RecoveryStage::SparseLu.to_string(), "sparse-lu");
         assert_eq!(RecoveryStage::DenseLu.to_string(), "dense-lu");
+    }
+
+    #[test]
+    fn guard_display_includes_singular_pivot() {
+        assert_eq!(SolveGuard::SingularPivot.to_string(), "singular-pivot");
     }
 }

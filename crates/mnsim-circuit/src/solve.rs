@@ -24,6 +24,7 @@ use crate::cg::{solve_cg, CgOptions};
 static DC_SOLVES: obs::Counter = obs::Counter::new("circuit.solve.dc_solves");
 static DC_SPAN: obs::Span = obs::Span::new("circuit.solve.dc");
 static LINEAR_DENSE: obs::Counter = obs::Counter::new("circuit.solve.dense_lu");
+static LINEAR_SPARSE: obs::Counter = obs::Counter::new("circuit.solve.sparse_lu");
 static LINEAR_CG: obs::Counter = obs::Counter::new("circuit.solve.cg");
 static LINEAR_FULL_MNA: obs::Counter = obs::Counter::new("circuit.solve.full_mna");
 static NEWTON_ITERATIONS: obs::Counter = obs::Counter::new("circuit.solve.newton_iterations");
@@ -35,12 +36,15 @@ use crate::sparse::TripletMatrix;
 /// Linear-solver selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Method {
-    /// Conjugate gradients for large grounded-source systems, dense LU
-    /// otherwise.
+    /// Dense LU below `DENSE_CUTOFF` (96) unknowns, KLU-style sparse direct
+    /// LU up to `SPARSE_CUTOFF` (200 000), conjugate gradients beyond (all for
+    /// grounded-source systems; floating sources use full MNA).
     #[default]
     Auto,
     /// Force the dense LU path (exact, `O(n³)`).
     DenseLu,
+    /// Force the sparse direct path ([`crate::klu`]; exact, fill-bounded).
+    SparseLu,
     /// Force conjugate gradients (requires grounded voltage sources).
     Cg,
 }
@@ -73,6 +77,36 @@ impl Default for SolveOptions {
 /// Number of unknowns below which `Method::Auto` prefers the dense LU.
 /// Shared with [`crate::batch`] so prepared systems pick the same path.
 pub(crate) const DENSE_CUTOFF: usize = 96;
+
+/// Number of unknowns at which `Method::Auto` stops using the sparse
+/// direct path and switches to conjugate gradients: a 256×256 crossbar
+/// (~131k unknowns) still factorizes comfortably, while 512×512 (~524k)
+/// would pay more in fill memory than CG pays in iterations.
+pub(crate) const SPARSE_CUTOFF: usize = 200_000;
+
+/// The concrete linear engine a reduced (grounded-source) solve uses.
+/// Shared with [`crate::batch`] so prepared systems pick the same path as
+/// one-shot solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LinearEngine {
+    /// Dense LU with partial pivoting.
+    Dense,
+    /// KLU-style sparse direct LU ([`crate::klu`]).
+    Sparse,
+    /// Jacobi-preconditioned conjugate gradients.
+    Cg,
+}
+
+/// `Method::Auto` engine choice by problem size.
+pub(crate) fn auto_engine(unknowns: usize) -> LinearEngine {
+    if unknowns < DENSE_CUTOFF {
+        LinearEngine::Dense
+    } else if unknowns < SPARSE_CUTOFF {
+        LinearEngine::Sparse
+    } else {
+        LinearEngine::Cg
+    }
+}
 
 /// One linearized conductive branch: `I(n1→n2) = g·(v1 − v2) + i_eq`.
 #[derive(Debug, Clone, Copy)]
@@ -229,11 +263,18 @@ pub(crate) fn solve_linear(
                         .into(),
                 });
             }
-            solve_reduced(circuit, lin, &sources, options, false)
+            solve_reduced(circuit, lin, &sources, options, LinearEngine::Cg)
         }
         Method::DenseLu => {
             if reduced_ok {
-                solve_reduced(circuit, lin, &sources, options, true)
+                solve_reduced(circuit, lin, &sources, options, LinearEngine::Dense)
+            } else {
+                solve_full_mna(circuit, lin)
+            }
+        }
+        Method::SparseLu => {
+            if reduced_ok {
+                solve_reduced(circuit, lin, &sources, options, LinearEngine::Sparse)
             } else {
                 solve_full_mna(circuit, lin)
             }
@@ -241,7 +282,7 @@ pub(crate) fn solve_linear(
         Method::Auto => {
             if reduced_ok {
                 let unknowns = circuit.node_count() - 1 - sources.driven.len();
-                solve_reduced(circuit, lin, &sources, options, unknowns < DENSE_CUTOFF)
+                solve_reduced(circuit, lin, &sources, options, auto_engine(unknowns))
             } else {
                 solve_full_mna(circuit, lin)
             }
@@ -256,7 +297,7 @@ fn solve_reduced(
     lin: &[Option<Linearized>],
     sources: &SourceInfo,
     options: &SolveOptions,
-    use_dense: bool,
+    engine: LinearEngine,
 ) -> Result<Vec<f64>, CircuitError> {
     let n_nodes = circuit.node_count();
     // Map node → unknown index.
@@ -315,14 +356,24 @@ fn solve_reduced(
 
     let x = if unknowns == 0 {
         Vec::new()
-    } else if use_dense {
-        LINEAR_DENSE.inc();
-        let csr = triplets.to_csr();
-        DenseMatrix::from_rows(&csr.to_dense()).solve(&b)?
     } else {
-        LINEAR_CG.inc();
-        let csr = triplets.to_csr();
-        solve_cg(&csr, &b, &options.cg)?.0
+        match engine {
+            LinearEngine::Dense => {
+                LINEAR_DENSE.inc();
+                let csr = triplets.to_csr();
+                DenseMatrix::from_rows(&csr.to_dense()).solve(&b)?
+            }
+            LinearEngine::Sparse => {
+                LINEAR_SPARSE.inc();
+                let csc = triplets.to_csc();
+                crate::klu::SparseLu::factor(&csc)?.solve(&b)
+            }
+            LinearEngine::Cg => {
+                LINEAR_CG.inc();
+                let csr = triplets.to_csr();
+                solve_cg(&csr, &b, &options.cg)?.0
+            }
+        }
     };
 
     // Reassemble the full voltage vector.
@@ -563,7 +614,7 @@ mod tests {
             .unwrap();
         c.add_resistor(mid, Circuit::GROUND, Resistance::from_ohms(100.0))
             .unwrap();
-        for method in [Method::Auto, Method::DenseLu, Method::Cg] {
+        for method in [Method::Auto, Method::DenseLu, Method::SparseLu, Method::Cg] {
             let options = SolveOptions {
                 method,
                 ..SolveOptions::default()

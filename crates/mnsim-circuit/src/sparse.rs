@@ -1,9 +1,11 @@
-//! Compressed-sparse-row matrices.
+//! Compressed-sparse matrices (CSR and CSC).
 //!
 //! The conductance matrices of crossbar resistor networks are extremely
 //! sparse (≈5 non-zeros per row regardless of size), so the circuit solver
-//! assembles them in triplet (COO) form and converts once to CSR for fast
-//! matrix-vector products inside the conjugate-gradient loop.
+//! assembles them in triplet (COO) form and converts once to a compressed
+//! format: [`CsrMatrix`] for fast matrix-vector products inside the
+//! conjugate-gradient loop, [`CscMatrix`] for the column-oriented sparse
+//! LU factorization in [`crate::klu`].
 
 use std::fmt;
 
@@ -93,6 +95,46 @@ impl TripletMatrix {
             cols: self.cols,
             row_ptr,
             col_idx,
+            values,
+        }
+    }
+
+    /// Converts to CSC, summing duplicate coordinates.
+    ///
+    /// Entries within each column are sorted by row, and the conversion is
+    /// fully deterministic: two builders with the same triplet multiset
+    /// produce bit-identical matrices.
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(row, col, _)| (col, row));
+
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        let mut row_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+
+        let mut i = 0;
+        while i < sorted.len() {
+            let (r, c, mut v) = sorted[i];
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j].0 == r && sorted[j].1 == c {
+                v += sorted[j].2;
+                j += 1;
+            }
+            row_idx.push(r);
+            values.push(v);
+            col_ptr[c + 1] += 1;
+            i = j;
+        }
+
+        for c in 0..self.cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+
+        CscMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            col_ptr,
+            row_idx,
             values,
         }
     }
@@ -202,6 +244,125 @@ impl fmt::Debug for CsrMatrix {
         write!(
             f,
             "CsrMatrix {{ {}x{}, nnz: {} }}",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
+    }
+}
+
+/// An immutable compressed-sparse-column matrix.
+///
+/// Column-major twin of [`CsrMatrix`]: `col_ptr[j]..col_ptr[j+1]` indexes
+/// the stored entries of column `j`, whose row indices (`row_idx`, sorted
+/// ascending within each column) and values run in parallel. This is the
+/// natural layout for the left-looking sparse LU in [`crate::klu`], which
+/// touches one column at a time.
+#[derive(Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column start offsets (`cols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index of every stored entry, column-major, sorted within columns.
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// The stored values, column-major.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The stored value at `(row, col)`, or 0.0 if structurally zero.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let start = self.col_ptr[col];
+        let end = self.col_ptr[col + 1];
+        match self.row_idx[start..end].binary_search(&row) {
+            Ok(pos) => self.values[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// FNV-1a hash of the sparsity pattern (dimensions, column pointers,
+    /// and row indices — *not* the values). Two matrices with equal
+    /// pattern hashes are refactorization-compatible in [`crate::klu`].
+    pub fn pattern_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(PRIME);
+        };
+        mix(self.rows as u64);
+        mix(self.cols as u64);
+        for &p in &self.col_ptr {
+            mix(p as u64);
+        }
+        for &r in &self.row_idx {
+            mix(r as u64);
+        }
+        h
+    }
+
+    /// Converts to a dense row-major matrix (testing / small systems).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut dense = vec![vec![0.0; self.cols]; self.rows];
+        for (c, w) in self.col_ptr.windows(2).enumerate() {
+            for k in w[0]..w[1] {
+                dense[self.row_idx[k]][c] = self.values[k];
+            }
+        }
+        dense
+    }
+
+    /// Dense `y = A·x` product (allocating; test helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "x length mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (&xc, w) in x.iter().zip(self.col_ptr.windows(2)) {
+            for k in w[0]..w[1] {
+                y[self.row_idx[k]] += self.values[k] * xc;
+            }
+        }
+        y
+    }
+}
+
+impl fmt::Debug for CscMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CscMatrix {{ {}x{}, nnz: {} }}",
             self.rows,
             self.cols,
             self.nnz()

@@ -205,6 +205,63 @@ impl CircuitLayer {
             .collect())
     }
 
+    /// Remaps new weight values onto the layer's crossbars without
+    /// discarding the cached solver state.
+    ///
+    /// Reprogramming changes cell conductances but not the circuit
+    /// topology, so on the sparse-direct engine the cached symbolic
+    /// analysis and elimination program are *refreshed* in place
+    /// ([`PreparedSystem::try_value_refresh`] → the `solver.klu.refactor`
+    /// fast path) instead of re-analyzed; other engines, or a weight shape
+    /// that changes the geometry, fall back to a full rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Same mapping conditions as [`CircuitLayer::new`].
+    pub fn reprogram(&mut self, config: &Config, weights: &Tensor) -> Result<(), CoreError> {
+        let shape = weights.shape();
+        if shape.len() != 2 {
+            return Err(CoreError::Nn(mnsim_nn::NnError::ShapeMismatch {
+                expected: vec![0, 0],
+                actual: shape.to_vec(),
+                operation: "CircuitLayer::reprogram",
+            }));
+        }
+        let inputs = shape[1];
+        let mapped = map_weights(config, weights, &vec![0.0; inputs])?;
+        let options = BatchOptions::default();
+        let positive = mapped.positive.build()?;
+        if !self.prepared_positive.try_value_refresh(positive.circuit())? {
+            self.prepared_positive = PreparedSystem::build(positive.circuit(), options.clone())?;
+        }
+        let (negative, prepared_negative) = match &mapped.negative {
+            Some(spec) => {
+                let built = spec.build()?;
+                let refreshed = match self.prepared_negative.take() {
+                    Some(mut prepared) => prepared
+                        .try_value_refresh(built.circuit())?
+                        .then_some(prepared),
+                    None => None,
+                };
+                let prepared = match refreshed {
+                    Some(prepared) => prepared,
+                    None => PreparedSystem::build(built.circuit(), options)?,
+                };
+                (Some(built), Some(prepared))
+            }
+            None => (None, None),
+        };
+        self.circuits = Circuits {
+            rows: mapped.positive.rows,
+            cols: mapped.positive.cols,
+            v_read: config.device.v_read,
+            positive,
+            negative,
+        };
+        self.prepared_negative = prepared_negative;
+        Ok(())
+    }
+
     /// Solves one activation vector; equivalent to a batch of one.
     ///
     /// # Errors
@@ -355,6 +412,37 @@ mod tests {
                 .unwrap();
             assert_eq!(serial, sharded, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn reprogram_matches_fresh_layer_bitwise() {
+        // 8×8 crossbars (128 unknowns per polarity) select the
+        // sparse-direct engine, so reprogramming exercises the in-place
+        // value refresh — and its factors must be bit-identical to a cold
+        // build's.
+        let mut c = Config::fully_connected_mlp(&[8, 8]).unwrap();
+        c.crossbar_size = 8;
+        c.interconnect = InterconnectNode::N28;
+        let w1 = Tensor::from_vec(
+            &[8, 8],
+            (0..64).map(|k| ((k as f64 * 0.13).sin())).collect(),
+        )
+        .unwrap();
+        let w2 = Tensor::from_vec(
+            &[8, 8],
+            (0..64).map(|k| ((k as f64 * 0.29).cos() * 0.8)).collect(),
+        )
+        .unwrap();
+        let batch = vec![vec![0.6; 8], (0..8).map(|i| i as f64 / 8.0).collect()];
+
+        let mut layer = CircuitLayer::new(&c, &w1).unwrap();
+        layer.forward_batch(&batch).unwrap();
+        layer.reprogram(&c, &w2).unwrap();
+        let reprogrammed = layer.forward_batch(&batch).unwrap();
+
+        let mut fresh = CircuitLayer::new(&c, &w2).unwrap();
+        let cold = fresh.forward_batch(&batch).unwrap();
+        assert_eq!(reprogrammed, cold);
     }
 
     #[test]

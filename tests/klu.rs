@@ -1,0 +1,275 @@
+//! Integration lockdown for the KLU-style sparse direct solver
+//! ([`mnsim::circuit::klu`]): the sparse path must agree with dense LU to
+//! near machine precision, the cached symbolic analysis must satisfy its
+//! structural invariants, value-only refactorization must be bit-identical
+//! to a fresh factorization, singular systems must surface as typed errors
+//! (never NaN or a hang), and fault campaigns must actually hit the
+//! refactor fast path per trial.
+
+use mnsim::circuit::crossbar::CrossbarSpec;
+use mnsim::circuit::solve::{solve_dc, Method, SolveOptions};
+use mnsim::circuit::sparse::TripletMatrix;
+use mnsim::circuit::{analyze, solve_robust, RobustOptions, SparseLu};
+use mnsim::circuit::CircuitError;
+use mnsim::core::config::Config;
+use mnsim::core::exec::ExecOptions;
+use mnsim::core::fault_sim::{simulate_with_faults_with, FaultConfig};
+use mnsim::obs;
+use mnsim::tech::fault::FaultRates;
+use mnsim::tech::memristor::IvModel;
+use mnsim::tech::units::{Resistance, Voltage};
+use proptest::prelude::*;
+
+/// Deterministic xorshift uniform in `[0, 1)`.
+fn uniform(state: &mut u64) -> f64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A crossbar whose cell states are drawn from `[5 kΩ, 20 kΩ)` — every
+/// cell different, so the reduced system has no accidental symmetry.
+fn random_crossbar(rows: usize, cols: usize, seed: u64) -> CrossbarSpec {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut spec = CrossbarSpec::uniform(
+        rows,
+        cols,
+        Resistance::from_kilo_ohms(10.0),
+        Resistance::from_ohms(2.0),
+        Resistance::from_ohms(500.0),
+        Voltage::from_volts(1.0),
+    );
+    for cell in &mut spec.states {
+        *cell = Resistance::from_ohms(5_000.0 + 15_000.0 * uniform(&mut state));
+    }
+    for input in &mut spec.inputs {
+        *input = Voltage::from_volts(0.2 + 0.8 * uniform(&mut state));
+    }
+    spec
+}
+
+/// A random symmetric diagonally dominant sparse matrix in CSC form —
+/// the shape every reduced crossbar nodal system has.
+fn random_sdd_csc(n: usize, seed: u64) -> mnsim::circuit::sparse::CscMatrix {
+    let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+    let mut diag = vec![1e-3f64; n]; // ground leak keeps every pivot alive
+    let mut triplets = TripletMatrix::new(n, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if uniform(&mut state) < 3.0 / n as f64 {
+                let g = 1e-4 + uniform(&mut state) * 1e-3;
+                triplets.add(i, j, -g);
+                triplets.add(j, i, -g);
+                diag[i] += g;
+                diag[j] += g;
+            }
+        }
+    }
+    for (i, &d) in diag.iter().enumerate() {
+        triplets.add(i, i, d);
+    }
+    triplets.to_csc()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sparse-direct and dense LU agree within 1e-10 relative on random
+    /// crossbar structures up to 96 unknowns (`2·rows·cols`).
+    #[test]
+    fn sparse_direct_matches_dense_lu_within_1e10(
+        rows in 1usize..7,
+        cols in 1usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let built = random_crossbar(rows, cols, seed).build().expect("valid crossbar");
+        let solve_with = |method: Method| {
+            let options = SolveOptions { method, ..SolveOptions::default() };
+            solve_dc(built.circuit(), &options).expect("SDD system solves")
+        };
+        let sparse = solve_with(Method::SparseLu);
+        let dense = solve_with(Method::DenseLu);
+        for (node, (&vs, &vd)) in sparse.voltages().iter().zip(dense.voltages()).enumerate() {
+            let scale = vs.abs().max(vd.abs()).max(1.0);
+            prop_assert!(
+                (vs - vd).abs() <= 1e-10 * scale,
+                "{rows}x{cols} seed {seed} node {node}: sparse {vs} vs dense {vd}"
+            );
+        }
+    }
+
+    /// Structural invariants of the cached symbolic analysis: both
+    /// permutations are permutations, the BTF blocks partition the matrix,
+    /// and the numeric factorization reproduces `A` (checked through
+    /// `A·(LU)⁻¹·b = b` on a known solution).
+    #[test]
+    fn symbolic_analysis_invariants_hold(
+        n in 2usize..48,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = random_sdd_csc(n, seed);
+        let analysis = analyze(&a).expect("SDD matrix is structurally nonsingular");
+        prop_assert_eq!(analysis.n(), n);
+        prop_assert!(analysis.compatible_with(&a));
+
+        // Both orderings are permutations of 0..n.
+        for perm in [analysis.row_perm(), analysis.col_perm()] {
+            let mut seen = vec![false; n];
+            for &p in perm {
+                prop_assert!(p < n, "index {p} out of range");
+                prop_assert!(!seen[p], "index {p} repeated");
+                seen[p] = true;
+            }
+        }
+
+        // The BTF blocks are a contiguous ascending partition of 0..n.
+        let ranges = analysis.block_ranges();
+        prop_assert_eq!(ranges.len(), analysis.block_count());
+        prop_assert_eq!(ranges.first().map(|r| r.0), Some(0));
+        prop_assert_eq!(ranges.last().map(|r| r.1), Some(n));
+        for pair in ranges.windows(2) {
+            prop_assert_eq!(pair[0].1, pair[1].0, "blocks must tile contiguously");
+        }
+        for &(lo, hi) in &ranges {
+            prop_assert!(lo < hi, "empty block [{lo}, {hi})");
+        }
+
+        // L·U reproduces A within tolerance: solving against b = A·x_true
+        // must recover x_true.
+        let lu = SparseLu::factor(&a).expect("SDD matrix factorizes");
+        prop_assert!(lu.lu_nnz() >= n);
+        let mut state = seed | 1;
+        let x_true: Vec<f64> = (0..n).map(|_| uniform(&mut state) * 2.0 - 1.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = lu.solve(&b);
+        for (i, (&xt, &xs)) in x_true.iter().zip(&x).enumerate() {
+            let scale = xt.abs().max(xs.abs()).max(1.0);
+            prop_assert!(
+                (xt - xs).abs() <= 1e-8 * scale,
+                "n {n} seed {seed} unknown {i}: {xt} vs {xs}"
+            );
+        }
+    }
+
+    /// `refresh` with unchanged values — and with changed values on the
+    /// same pattern — produces solves bit-identical to a from-scratch
+    /// factorization: the replayed pivot order is the pivot order fresh
+    /// partial pivoting would choose on these diagonally dominant systems.
+    #[test]
+    fn refactor_is_bit_identical_to_fresh_factorization(
+        n in 2usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = random_sdd_csc(n, seed);
+        // Same pattern, scaled values: what a fault overlay or reprogram
+        // does to the reduced system.
+        let scaled = {
+            let mut t = TripletMatrix::new(n, n);
+            for col in 0..n {
+                for k in a.col_ptr()[col]..a.col_ptr()[col + 1] {
+                    t.add(a.row_idx()[k], col, a.values()[k] * 1.75);
+                }
+            }
+            t.to_csc()
+        };
+        let mut state = seed.wrapping_add(17) | 1;
+        let b: Vec<f64> = (0..n).map(|_| uniform(&mut state) * 2.0 - 1.0).collect();
+
+        let mut lu = SparseLu::factor(&a).expect("factors");
+        // Unchanged values: the fast path must fire and change nothing.
+        prop_assert!(lu.refresh(&a).expect("same values refactor"));
+        let fresh = SparseLu::factor(&a).expect("factors");
+        prop_assert_eq!(lu.solve(&b), fresh.solve(&b), "unchanged-value refresh drifted");
+
+        // Changed values, same pattern: still the fast path, still
+        // bit-identical to factoring the new matrix from scratch.
+        prop_assert!(lu.refresh(&scaled).expect("scaled values refactor"));
+        let fresh_scaled = SparseLu::factor(&scaled).expect("factors");
+        prop_assert_eq!(lu.solve(&b), fresh_scaled.solve(&b), "refreshed solve drifted");
+    }
+}
+
+/// A genuinely singular system must come back as the typed
+/// [`CircuitError::SingularSystem`] — not NaN voltages and not a hang.
+/// The crossbar builder itself models broken lines as 1 TΩ segments
+/// precisely to avoid creating one, so the degenerate circuit (a floating
+/// node with no DC path anywhere) is built directly here.
+#[test]
+fn floating_node_is_a_typed_singular_error() {
+    let built = random_crossbar(3, 3, 42).build().unwrap();
+    let mut circuit = built.circuit().clone();
+    circuit.add_node(); // no element ever touches it: zero diagonal row
+
+    // The sparse-direct path reports the singularity from symbolic
+    // analysis — the structure itself has no complete transversal.
+    let sparse = SolveOptions {
+        method: Method::SparseLu,
+        ..SolveOptions::default()
+    };
+    match solve_dc(&circuit, &sparse) {
+        Err(CircuitError::SingularSystem { .. }) => {}
+        other => panic!("expected SingularSystem, got {other:?}"),
+    }
+
+    // The recovery ladder tries every rung, records the sparse rung's
+    // early escalation (SingularPivot guard), and returns the typed error
+    // once the ladder is exhausted.
+    let session = obs::session();
+    let result = solve_robust(&circuit, &RobustOptions::default());
+    let snap = session.snapshot();
+    match result {
+        Err(CircuitError::SingularSystem { .. }) => {}
+        other => panic!("expected SingularSystem from the ladder, got {other:?}"),
+    }
+    assert_eq!(snap.counter("circuit.recovery.attempts.sparse_lu"), 1);
+    assert_eq!(snap.counter("circuit.recovery.accepted.sparse_lu"), 0);
+    // Every rung fails on the singular-pivot (or zero-diagonal) guard:
+    // four early escalations, none of them burning an iteration budget.
+    assert_eq!(snap.counter("solver.early_escalations"), 4);
+    assert_eq!(snap.counter("circuit.recovery.exhausted"), 1);
+}
+
+/// Acceptance: per-trial value-only updates in a fault campaign hit the
+/// `refactor()` fast path — visible as `solver.klu.refactor` increments —
+/// instead of rebuilding the prepared system from scratch every trial.
+#[test]
+fn fault_campaign_hits_the_refactor_fast_path() {
+    let session = obs::session();
+    let mut config = Config::fully_connected_mlp(&[8, 8]).unwrap();
+    config.crossbar_size = 8;
+    // Ohmic cells keep the trial circuits linear so the sparse engine —
+    // not the Newton loop — owns the per-trial solves.
+    config.device.iv = IvModel::Linear;
+    let fault_config = FaultConfig {
+        rates: FaultRates::stuck_at(0.05),
+        trials: 6,
+        inputs_per_trial: 2,
+        // No spare-row repair: defects must survive into the operated
+        // circuit, otherwise every trial is fingerprint-identical to the
+        // clean array and reuses the cache exactly instead of refreshing.
+        spare_rows: 0,
+        ..FaultConfig::default()
+    };
+    simulate_with_faults_with(&config, &fault_config, &ExecOptions::serial()).unwrap();
+
+    let snap = session.snapshot();
+    assert_eq!(snap.counter("core.fault.trials"), 6);
+    // The first trial factors cold; each later trial's fault map is a
+    // value-only change on the same structure, so all five must refresh
+    // the cached factorization in place (the second read of each trial is
+    // an exact cache hit and solves without touching the numeric factor).
+    assert_eq!(
+        snap.counter("solver.klu.refactor"),
+        5,
+        "trials after the first must hit the refactor fast path",
+    );
+    assert_eq!(
+        snap.counter("circuit.batch.value_refreshes"),
+        5,
+        "prepare_or_reuse must refresh in place once per changed trial",
+    );
+    // And refreshing is strictly cheaper than re-analyzing: symbolic
+    // analyses stay well below one per trial solve.
+    assert!(snap.counter("solver.klu.analyses") < snap.counter("solver.klu.solves"));
+}

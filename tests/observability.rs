@@ -34,16 +34,24 @@ fn clean_fault_campaign_records_no_fallbacks() {
     assert_eq!(snap.counter("core.fault.campaigns"), 1);
     assert_eq!(snap.counter("core.fault.trials"), 3);
     assert_eq!(snap.counter("core.fault.retired_trials"), 0);
-    // Clean arrays must solve on the base rung: one robust solve per trial,
-    // every one accepted at `Base`, zero fallbacks.
-    assert_eq!(snap.counter("circuit.recovery.solves"), 3);
-    assert_eq!(snap.counter("circuit.recovery.attempts.base"), 3);
-    assert_eq!(snap.counter("circuit.recovery.accepted.base"), 3);
+    // Clean arrays solve on the cached sparse-direct fast path: the
+    // recovery ladder is never consulted, so zero robust solves and zero
+    // fallbacks.
+    assert_eq!(snap.counter("circuit.recovery.solves"), 0);
     assert_eq!(snap.counter("circuit.recovery.fallbacks"), 0);
     assert_eq!(snap.counter("circuit.recovery.attempts.dense_lu"), 0);
-    // The representative crossbar is solved iteratively underneath.
-    assert!(snap.counter("circuit.cg.solves") > 0);
-    assert!(snap.counter("circuit.cg.iterations") > snap.counter("circuit.cg.solves"));
+    // The representative crossbar is solved by the KLU-style sparse engine
+    // (under the default sinh device each Newton iteration's linearized
+    // system lands on the sparse-direct path).
+    assert!(snap.counter("solver.klu.factors") >= 1);
+    assert!(snap.counter("solver.klu.solves") >= 3);
+    assert!(snap.counter("circuit.solve.sparse_lu") >= 3);
+    // One primary read per trial, and the identical clean trials after the
+    // first are exact cache hits of the per-thread prepared slot.
+    assert_eq!(snap.counter("circuit.batch.solves"), 3);
+    assert_eq!(snap.counter("circuit.batch.cache_hits"), 2);
+    // No CG anywhere on the clean path.
+    assert_eq!(snap.counter("circuit.cg.solves"), 0);
 }
 
 #[test]
@@ -195,6 +203,29 @@ fn snapshot_json_is_valid_and_complete() {
         interconnects: vec![InterconnectNode::N45],
     };
     explore(&config, &space, &Constraints::default()).unwrap();
+    // The fault campaign now solves through the cached sparse-direct path,
+    // so drive the CG engine and the recovery ladder explicitly to get
+    // their counters into the same snapshot.
+    let mut divider = Circuit::new();
+    let mid = divider.add_node();
+    divider
+        .add_voltage_source(mid, Circuit::GROUND, Voltage::from_volts(1.0))
+        .unwrap();
+    let tap = divider.add_node();
+    divider
+        .add_resistor(mid, tap, Resistance::from_kilo_ohms(1.0))
+        .unwrap();
+    divider
+        .add_resistor(tap, Circuit::GROUND, Resistance::from_kilo_ohms(1.0))
+        .unwrap();
+    let cg_base = RobustOptions {
+        base: SolveOptions {
+            method: Method::Cg,
+            ..SolveOptions::default()
+        },
+        ..RobustOptions::default()
+    };
+    solve_robust(&divider, &cg_base).unwrap();
 
     let snap = session.snapshot();
     let json = snap.to_json();
@@ -203,6 +234,7 @@ fn snapshot_json_is_valid_and_complete() {
     for required in [
         "circuit.cg.iterations",
         "circuit.recovery.attempts.base",
+        "solver.klu.factors",
         "core.simulate.stage.accelerator",
         "core.dse.points_per_sec",
     ] {
@@ -237,10 +269,16 @@ fn session_opened_before_thread_pool_sees_all_worker_counts() {
     // visible, not just the spawning thread's share.
     assert_eq!(snap.counter("core.fault.campaigns"), 1);
     assert_eq!(snap.counter("core.fault.trials"), 14);
-    // Retired trials skip the solve; every operated trial solves once.
-    assert_eq!(
-        snap.counter("circuit.recovery.solves") + snap.counter("core.fault.retired_trials"),
-        14
+    // Retired trials skip the solve; every operated trial reads its
+    // primary output through the cached sparse engine (or, if the fast
+    // path balks, through a robust recovery solve) — so the workers'
+    // combined solve counters must cover every operated trial.
+    let operated = 14 - snap.counter("core.fault.retired_trials");
+    assert!(
+        snap.counter("circuit.batch.solves") + snap.counter("circuit.recovery.solves") >= operated,
+        "worker increments missing: {} batch solves + {} robust solves < {operated} operated trials",
+        snap.counter("circuit.batch.solves"),
+        snap.counter("circuit.recovery.solves"),
     );
 }
 

@@ -119,6 +119,52 @@ fn accuracy_row_for_size(size: usize) -> ValidationRow {
         .expect("accuracy row present")
 }
 
+/// The Table II validation runs through the sparse-direct circuit path
+/// (a 32×32 block is 2048 unknowns — far past the dense cutoff), and the
+/// per-matrix studies fan out over worker threads. Refactored sparse
+/// solves replay the cached pivot order bit-for-bit, and partial sums are
+/// reduced in matrix order, so every thread count must reproduce the
+/// size-32 golden accuracy row *bitwise* — not just to tolerance.
+#[test]
+fn table2_rows_are_bit_identical_across_thread_counts() {
+    use mnsim::core::exec::ExecOptions;
+    use mnsim::core::validate::validate_against_circuit_with;
+
+    let mut config = table2_config();
+    config.crossbar_size = 32;
+    let (matrices, inputs, seed) = TABLE2_SAMPLES;
+    let rows_at = |threads: usize| {
+        validate_against_circuit_with(
+            &config,
+            matrices,
+            inputs,
+            seed,
+            &ExecOptions::with_threads(threads),
+        )
+        .unwrap()
+    };
+
+    let reference = rows_at(1);
+    let accuracy = reference
+        .iter()
+        .find(|r| r.metric == "average relative accuracy")
+        .expect("accuracy row present");
+    let golden = TABLE2_ACCURACY_BY_SIZE
+        .iter()
+        .find(|&&(size, _, _)| size == 32)
+        .expect("size-32 golden row");
+    assert_close(accuracy.mnsim, golden.1, "size 32 threads 1: mnsim accuracy");
+    assert_close(accuracy.circuit, golden.2, "size 32 threads 1: circuit accuracy");
+
+    for threads in [2usize, 7] {
+        assert_eq!(
+            rows_at(threads),
+            reference,
+            "{threads}-thread validation drifted from the serial rows"
+        );
+    }
+}
+
 #[test]
 fn table2_accuracy_error_per_crossbar_size_matches_golden() {
     for &(size, mnsim, circuit) in &TABLE2_ACCURACY_BY_SIZE {

@@ -17,12 +17,15 @@
 //!    [`CgOptions`] iteration caps.
 //! 3. **Invalidation** — a prepared system built for one conductance state
 //!    refuses to solve a circuit whose conductances changed: the typed
-//!    [`CircuitError::StalePreparedSystem`] fires on both the dense and CG
-//!    paths, and [`prepare_or_reuse`] rebuilds instead of ever reusing a
-//!    stale factorization.
+//!    [`CircuitError::StalePreparedSystem`] fires on the dense,
+//!    sparse-direct, and CG paths alike, and [`prepare_or_reuse`] refreshes
+//!    or rebuilds instead of ever reusing a stale factorization.
+//! 4. **Dispatch** — under [`Method::Auto`] the engine choice is a pure
+//!    function of structure size: dense below 96 unknowns, sparse-direct
+//!    above, checked through [`PreparedSystem::engine_kind`].
 
 use mnsim::circuit::batch::{
-    prepare_or_reuse, solve_dc_batch, BatchOptions, PreparedSystem, Rhs, WarmStart,
+    prepare_or_reuse, solve_dc_batch, BatchOptions, EngineKind, PreparedSystem, Rhs, WarmStart,
 };
 use mnsim::circuit::cg::CgOptions;
 use mnsim::circuit::crossbar::CrossbarSpec;
@@ -45,9 +48,10 @@ fn uniform(state: &mut u64) -> f64 {
 }
 
 fn method_for(index: u8) -> Method {
-    match index % 3 {
+    match index % 4 {
         0 => Method::Auto,
         1 => Method::DenseLu,
+        2 => Method::SparseLu,
         _ => Method::Cg,
     }
 }
@@ -165,7 +169,7 @@ proptest! {
         rows in 1usize..7,
         cols in 1usize..7,
         seed in 0u64..1_000_000,
-        method_index in 0u8..3,
+        method_index in 0u8..4,
         batch_size in 0usize..5,
     ) {
         check_crossbar_equivalence(
@@ -180,7 +184,7 @@ proptest! {
         rows in 1usize..7,
         cols in 1usize..7,
         seed in 0u64..1_000_000,
-        method_index in 0u8..3,
+        method_index in 0u8..4,
         batch_size in 1usize..5,
     ) {
         check_crossbar_equivalence(
@@ -203,8 +207,9 @@ proptest! {
     }
 }
 
-/// A crossbar big enough that `Method::Auto` lands on the CG path
-/// (`2·rows·cols` unknowns past the dense cutoff of 96).
+/// A crossbar past the dense cutoff (`2·rows·cols = 200` unknowns): under
+/// `Method::Auto` this now lands on the sparse-direct path, so the CG
+/// behavior tests pin `Method::Cg` explicitly.
 fn cg_path_crossbar() -> CrossbarSpec {
     CrossbarSpec::uniform(
         10,
@@ -244,12 +249,15 @@ fn warm_start_iteration_counts_drop_below_cold_on_correlated_batch() {
         let mut prepared = PreparedSystem::build(
             built.circuit(),
             BatchOptions {
+                base: SolveOptions {
+                    method: Method::Cg,
+                    ..SolveOptions::default()
+                },
                 warm_start,
-                ..BatchOptions::default()
             },
         )
         .unwrap();
-        assert!(prepared.uses_cg(), "10x10 must take the CG path under Auto");
+        assert!(prepared.uses_cg(), "pinned Method::Cg must take the CG path");
         solve_dc_batch(&mut prepared, built.circuit(), &batch).unwrap();
         prepared.last_cg_iterations().to_vec()
     };
@@ -303,12 +311,16 @@ fn orthogonal_batch_converges_within_cg_caps() {
         })
         .collect();
 
+    let cg_options = SolveOptions {
+        method: Method::Cg,
+        ..SolveOptions::default()
+    };
     for warm_start in [WarmStart::Previous, WarmStart::Nearest] {
         let mut prepared = PreparedSystem::build(
             built.circuit(),
             BatchOptions {
+                base: cg_options.clone(),
                 warm_start,
-                ..BatchOptions::default()
             },
         )
         .unwrap();
@@ -327,7 +339,7 @@ fn orthogonal_batch_converges_within_cg_caps() {
                 .map(|r| Voltage::from_volts(if r == k { 1.0 } else { 0.0 }))
                 .collect();
             let serial_circuit = built.circuit().with_source_voltages(&drive).unwrap();
-            let serial = solve_dc(&serial_circuit, &SolveOptions::default()).unwrap();
+            let serial = solve_dc(&serial_circuit, &cg_options).unwrap();
             for (&va, &vb) in serial.voltages().iter().zip(solution.voltages()) {
                 // Both runs stop at the default 1e-10 residual tolerance
                 // from different starting points, so the solutions agree to
@@ -349,7 +361,7 @@ fn perturbed(spec: &CrossbarSpec) -> CrossbarSpec {
 }
 
 #[test]
-fn stale_prepared_system_is_a_typed_error_on_dense_and_cg_paths() {
+fn stale_prepared_system_is_a_typed_error_on_every_engine() {
     let dense_spec = CrossbarSpec::uniform(
         4,
         4,
@@ -358,13 +370,28 @@ fn stale_prepared_system_is_a_typed_error_on_dense_and_cg_paths() {
         Resistance::from_ohms(500.0),
         Voltage::from_volts(1.0),
     );
-    let cg_spec = cg_path_crossbar();
+    let sparse_spec = cg_path_crossbar();
+    let cg_options = BatchOptions {
+        base: SolveOptions {
+            method: Method::Cg,
+            ..SolveOptions::default()
+        },
+        ..BatchOptions::default()
+    };
 
-    for (spec, expect_cg) in [(dense_spec, false), (cg_spec, true)] {
+    let cases = [
+        (dense_spec, BatchOptions::default(), EngineKind::Dense),
+        (
+            sparse_spec.clone(),
+            BatchOptions::default(),
+            EngineKind::SparseDirect,
+        ),
+        (sparse_spec, cg_options, EngineKind::Iterative),
+    ];
+    for (spec, options, expect_engine) in cases {
         let built = spec.build().unwrap();
-        let mut prepared =
-            PreparedSystem::build(built.circuit(), BatchOptions::default()).unwrap();
-        assert_eq!(prepared.uses_cg(), expect_cg);
+        let mut prepared = PreparedSystem::build(built.circuit(), options).unwrap();
+        assert_eq!(prepared.engine_kind(), expect_engine);
 
         let changed = perturbed(&spec).build().unwrap();
         let rhs = changed
@@ -391,7 +418,7 @@ fn stale_prepared_system_is_a_typed_error_on_dense_and_cg_paths() {
 }
 
 #[test]
-fn prepare_or_reuse_rebuilds_instead_of_solving_stale() {
+fn prepare_or_reuse_never_solves_stale() {
     let spec = cg_path_crossbar();
     let options = BatchOptions::default();
     let mut slot: Option<PreparedSystem> = None;
@@ -408,8 +435,10 @@ fn prepare_or_reuse_rebuilds_instead_of_solving_stale() {
         assert_eq!(prepared.fingerprint(), first_fingerprint);
     }
 
-    // Changed conductances: the slot is rebuilt, and the rebuilt system
-    // solves the new circuit to the fresh serial answer.
+    // Changed conductances with unchanged topology: the sparse engine is
+    // refreshed in place (refactor), the fingerprint moves to the new
+    // circuit, and — because refactoring replays the same pivot sequence —
+    // the solve is still bit-identical to a fresh serial factorization.
     let changed = perturbed(&spec).build().unwrap();
     let prepared = prepare_or_reuse(&mut slot, changed.circuit(), &options).unwrap();
     assert_ne!(prepared.fingerprint(), first_fingerprint);
@@ -418,4 +447,42 @@ fn prepare_or_reuse_rebuilds_instead_of_solving_stale() {
     let batched = prepared.solve(changed.circuit(), &rhs).unwrap();
     let serial = solve_dc(changed.circuit(), &SolveOptions::default()).unwrap();
     assert_eq!(serial.voltages(), batched.voltages());
+}
+
+/// The Auto dispatch is a pure function of structure size: the same spec
+/// always lands on the same engine, and the dense→sparse cutoff sits at
+/// 96 unknowns (`2·rows·cols` for a dual-rail crossbar).
+#[test]
+fn auto_dispatch_is_deterministic_in_structure_size() {
+    let spec_for = |rows: usize, cols: usize| {
+        CrossbarSpec::uniform(
+            rows,
+            cols,
+            Resistance::from_kilo_ohms(10.0),
+            Resistance::from_ohms(2.0),
+            Resistance::from_ohms(500.0),
+            Voltage::from_volts(1.0),
+        )
+    };
+    // (rows, cols, expected engine): 6x6 → 72 unknowns (< 96, dense);
+    // 6x8 → 96 unknowns (at the cutoff, sparse); 16x16 → 512 (sparse).
+    let cases = [
+        (6, 6, EngineKind::Dense),
+        (6, 8, EngineKind::SparseDirect),
+        (16, 16, EngineKind::SparseDirect),
+    ];
+    for (rows, cols, expected) in cases {
+        // Build twice: the choice must be identical run-to-run.
+        for _ in 0..2 {
+            let built = spec_for(rows, cols).build().unwrap();
+            let prepared =
+                PreparedSystem::build(built.circuit(), BatchOptions::default()).unwrap();
+            assert_eq!(
+                prepared.engine_kind(),
+                expected,
+                "{rows}x{cols} crossbar dispatched to {:?}",
+                prepared.engine_kind()
+            );
+        }
+    }
 }
