@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mnsim_bench::experiments::large_bank_config;
-use mnsim_core::dse::{explore, explore_parallel, Constraints, DesignSpace};
+use mnsim_core::dse::{explore, explore_with, Constraints, DesignSpace};
+use mnsim_core::exec::ExecOptions;
 use mnsim_core::simulate::simulate;
 use mnsim_tech::interconnect::InterconnectNode;
 
@@ -31,7 +32,10 @@ fn bench_explore_serial(c: &mut Criterion) {
         b.iter(|| explore(&base, &space, &Constraints::default()).unwrap());
     });
     group.bench_function("parallel_4_threads", |b| {
-        b.iter(|| explore_parallel(&base, &space, &Constraints::default(), 4).unwrap());
+        b.iter(|| {
+            explore_with(&base, &space, &Constraints::default(), &ExecOptions::with_threads(4))
+                .unwrap()
+        });
     });
     group.finish();
 }

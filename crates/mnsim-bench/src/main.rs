@@ -1,49 +1,70 @@
-//! `repro` — regenerate every table and figure of the MNSIM paper.
+//! `repro` — regenerate every table and figure of the MNSIM paper, or
+//! run MNSIM as a persistent service.
 //!
 //! ```text
-//! repro <experiment> [--metrics <path>] [--trace <path>]
+//! repro <experiment> [--emit <kind>=<path>]...
 //!   where experiment is one of:
 //!   table2 table3 table4 table5 table6 table7
 //!   fig5 fig6 fig7 fig8 fig9 jpeg variation faultmc all
+//!   serve client
 //! ```
 //!
-//! The `faultmc` experiment runs a configurable fault-injection
-//! Monte-Carlo campaign and accepts the campaign-hardening flags:
+//! # Exit codes (a documented contract — see README)
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 1 | evaluation failure (solver, I/O, internal) |
+//! | 2 | configuration/usage error (bad flags, bad config values) |
+//! | 3 | interrupted (cancelled or deadline hit; checkpoint written first when a policy is set) |
+//! | 4 | server-protocol error (`repro client`: connect/handshake failure, malformed or unsupported request, backpressure, server shutting down) |
+//!
+//! # Artifact emission
+//!
+//! Observability artifacts are requested uniformly:
+//!
+//! ```text
+//! repro table3 --emit metrics=m.json --emit trace=t.json --emit live=l.ndjson
+//! ```
+//!
+//! `metrics=<path>` writes the final [`mnsim_obs::MetricsSnapshot`] JSON;
+//! `trace=<path>` writes hierarchical Chrome trace-event JSON (open in
+//! `chrome://tracing` or <https://ui.perfetto.dev>) and prints the
+//! [`mnsim_obs::TraceSummary`] table to stderr; `live=<path>` streams
+//! typed progress events ([`mnsim_obs::live`]) as flushed NDJSON so
+//! `tail -f` follows a long campaign. The pre-unification spellings
+//! `--metrics <path>` / `--trace <path>` / `--live <path>` still work as
+//! aliases for one release and print a deprecation note on stderr.
+//! `--progress` prints a human one-liner per campaign wave.
+//!
+//! # Fault-injection campaigns
 //!
 //! ```text
 //! repro faultmc [--trials N] [--seed S] [--rate R] [--threads T]
 //!               [--checkpoint <path>] [--deadline-ms MS]
-//!               [--live <path>] [--progress]
 //! ```
 //!
 //! With `--checkpoint` the campaign persists completed trials to `path`
 //! and resumes from it on the next invocation (bit-identical to an
 //! uninterrupted run). With `--deadline-ms` the campaign stops
-//! cooperatively at the deadline and exits with status **3** (checkpoint
-//! written first when a policy is set), distinguishing an interrupted
-//! campaign from a failed one (status 1).
+//! cooperatively at the deadline and exits with status **3**.
 //!
-//! With `--live <path>` the run streams typed progress events
-//! ([`mnsim_obs::live`]) as NDJSON to `path` — one flushed JSON object
-//! per line (`campaign_started`, `wave_completed` with ETA and items/s,
-//! `checkpoint_written`, `deadline_approaching`, `guard_tripped`,
-//! `campaign_finished`, periodic `sample` lines), so `tail -f` follows a
-//! long campaign live. `--progress` prints a human one-liner per wave to
-//! stderr; both flags work for any experiment and compose with
-//! `--checkpoint`/`--deadline-ms` (an interrupted run still flushes its
-//! final `campaign_finished` event).
+//! # Simulation as a service
 //!
-//! With `--metrics <path>` the run executes inside an observability session
-//! ([`mnsim_obs`]) and writes the final [`mnsim_obs::MetricsSnapshot`] as
-//! JSON to `path` (solver iteration counts, recovery-ladder rungs, pipeline
-//! stage timings, DSE throughput, …).
+//! ```text
+//! repro serve [--socket <path>] [--workers N] [--cache-mb MB]
+//!             [--max-pending N] [--threads T] [--emit metrics=<path>]
+//!             [--emit live=<path>]
+//! repro client --socket <path> [--shutdown] [<request-json>...]
+//! ```
 //!
-//! With `--trace <path>` the run executes inside a trace session
-//! ([`mnsim_obs::trace`]) and writes the hierarchical Chrome trace-event
-//! JSON to `path` — open it in `chrome://tracing` or
-//! <https://ui.perfetto.dev>. A [`mnsim_obs::TraceSummary`] table
-//! (per-level self/total time and per-module model attribution) is printed
-//! to stderr.
+//! `serve` runs the [`mnsim_serve`] session server — a versioned
+//! line-delimited JSON protocol over the unix socket (or stdio when no
+//! `--socket` is given), with a cross-request artifact cache, in-flight
+//! deduplication, and per-client fairness. `client` performs the
+//! handshake, sends each `<request-json>` line, prints every streamed
+//! event and the response to stdout, and exits per the code contract
+//! above; `--shutdown` asks the server to stop afterwards.
 
 use mnsim_bench::experiments;
 use mnsim_core::checkpoint::CheckpointPolicy;
@@ -54,6 +75,8 @@ use mnsim_core::simulator::Simulator;
 use mnsim_core::Config;
 use mnsim_obs as obs;
 use mnsim_obs::trace;
+use mnsim_serve::client::Client;
+use mnsim_serve::server::{serve, ServeOptions};
 use mnsim_tech::fault::FaultRates;
 use mnsim_tech::interconnect::InterconnectNode;
 
@@ -81,6 +104,44 @@ impl Default for FaultMcArgs {
     }
 }
 
+/// Flags of the `serve` / `client` modes.
+#[derive(Debug, Clone, Default)]
+struct ServeArgs {
+    socket: Option<String>,
+    workers: usize,
+    cache_mb: usize,
+    max_pending: usize,
+    shutdown: bool,
+}
+
+/// The unified `--emit <kind>=<path>` artifact spec.
+#[derive(Debug, Clone, Default)]
+struct EmitSpec {
+    metrics: Option<String>,
+    trace: Option<String>,
+    live: Option<String>,
+}
+
+impl EmitSpec {
+    fn set(&mut self, spec: &str) {
+        let Some((kind, path)) = spec.split_once('=') else {
+            eprintln!("--emit expects <kind>=<path>, got {spec:?}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        };
+        match kind {
+            "metrics" => self.metrics = Some(path.to_string()),
+            "trace" => self.trace = Some(path.to_string()),
+            "live" => self.live = Some(path.to_string()),
+            other => {
+                eprintln!("--emit: unknown artifact kind {other:?} (metrics, trace, live)");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
     args.next().unwrap_or_else(|| {
         eprintln!("{flag} requires a value");
@@ -97,19 +158,33 @@ fn parse_or_usage<T: std::str::FromStr>(value: &str, flag: &str) -> T {
     })
 }
 
+fn deprecated_alias(old: &str, kind: &str) {
+    eprintln!("note: `{old} <path>` is deprecated; use `--emit {kind}=<path>` (alias kept for one release)");
+}
+
 fn main() {
     let mut experiment = None;
-    let mut metrics_path = None;
-    let mut trace_path = None;
-    let mut live_path = None;
+    let mut positional = Vec::new();
+    let mut emit = EmitSpec::default();
     let mut progress = false;
     let mut faultmc = FaultMcArgs::default();
+    let mut serve_args = ServeArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--metrics" => metrics_path = Some(flag_value(&mut args, "--metrics")),
-            "--trace" => trace_path = Some(flag_value(&mut args, "--trace")),
-            "--live" => live_path = Some(flag_value(&mut args, "--live")),
+            "--emit" => emit.set(&flag_value(&mut args, "--emit")),
+            "--metrics" => {
+                deprecated_alias("--metrics", "metrics");
+                emit.metrics = Some(flag_value(&mut args, "--metrics"));
+            }
+            "--trace" => {
+                deprecated_alias("--trace", "trace");
+                emit.trace = Some(flag_value(&mut args, "--trace"));
+            }
+            "--live" => {
+                deprecated_alias("--live", "live");
+                emit.live = Some(flag_value(&mut args, "--live"));
+            }
             "--progress" => progress = true,
             "--trials" => {
                 faultmc.trials = parse_or_usage(&flag_value(&mut args, "--trials"), "--trials");
@@ -130,11 +205,22 @@ fn main() {
                     "--deadline-ms",
                 ));
             }
-            _ if experiment.is_none() => experiment = Some(arg),
-            _ => {
-                eprintln!("{USAGE}");
-                std::process::exit(2);
+            "--socket" => serve_args.socket = Some(flag_value(&mut args, "--socket")),
+            "--workers" => {
+                serve_args.workers =
+                    parse_or_usage(&flag_value(&mut args, "--workers"), "--workers");
             }
+            "--cache-mb" => {
+                serve_args.cache_mb =
+                    parse_or_usage(&flag_value(&mut args, "--cache-mb"), "--cache-mb");
+            }
+            "--max-pending" => {
+                serve_args.max_pending =
+                    parse_or_usage(&flag_value(&mut args, "--max-pending"), "--max-pending");
+            }
+            "--shutdown" => serve_args.shutdown = true,
+            _ if experiment.is_none() => experiment = Some(arg),
+            _ => positional.push(arg),
         }
     }
     let experiment = experiment.unwrap_or_else(|| {
@@ -142,14 +228,26 @@ fn main() {
         std::process::exit(2);
     });
 
-    // The live sampler reads the metric registry, so `--live`/`--progress`
-    // imply a metrics session even without `--metrics`.
-    let live_wanted = live_path.is_some() || progress;
-    let session = (metrics_path.is_some() || live_wanted).then(obs::session);
-    let trace_session = trace_path.as_ref().map(|_| trace::session());
+    // The service modes own their observability sessions; dispatch to
+    // them before opening any here.
+    match experiment.as_str() {
+        "serve" => std::process::exit(run_serve(&serve_args, &faultmc, &emit)),
+        "client" => std::process::exit(run_client(&serve_args, &positional)),
+        _ => {}
+    }
+    if !positional.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    // The live sampler reads the metric registry, so a live artifact or
+    // `--progress` implies a metrics session even without one requested.
+    let live_wanted = emit.live.is_some() || progress;
+    let session = (emit.metrics.is_some() || live_wanted).then(obs::session);
+    let trace_session = emit.trace.as_ref().map(|_| trace::session());
     let live_session = live_wanted.then(|| {
         let mut live_config = obs::live::LiveConfig::default().with_progress(progress);
-        if let Some(path) = &live_path {
+        if let Some(path) = &emit.live {
             live_config = live_config.to_path(path);
         }
         obs::live::session(live_config).unwrap_or_else(|e| {
@@ -162,7 +260,7 @@ fn main() {
     // interrupted or failed run still flushes its final event.
     if let Some(live) = live_session {
         let live_report = live.finish();
-        if let Some(path) = &live_path {
+        if let Some(path) = &emit.live {
             eprintln!(
                 "live telemetry written to {path} ({} lines, {} samples)",
                 live_report.events,
@@ -171,16 +269,23 @@ fn main() {
         }
     }
     if let Err(e) = outcome {
-        let interrupted = matches!(
-            e.downcast_ref::<CoreError>(),
-            Some(CoreError::Cancelled { .. } | CoreError::DeadlineExceeded { .. })
-        );
+        let code = match e.downcast_ref::<CoreError>() {
+            // Status 3: the campaign was cut short by its control plane
+            // (a checkpoint was written first when a policy is set).
+            Some(CoreError::Cancelled { .. } | CoreError::DeadlineExceeded { .. }) => 3,
+            // Status 2: the configuration itself is invalid.
+            Some(
+                CoreError::Config { .. }
+                | CoreError::ConfigParse { .. }
+                | CoreError::InvalidConfig { .. }
+                | CoreError::EmptyDesignSpace { .. },
+            ) => 2,
+            _ => 1,
+        };
         eprintln!("error while running `{experiment}`: {e}");
-        // Status 3: the campaign was cut short by its control plane (a
-        // checkpoint was written first when a policy is set), not broken.
-        std::process::exit(if interrupted { 3 } else { 1 });
+        std::process::exit(code);
     }
-    if let (Some(path), Some(trace_session)) = (trace_path, trace_session) {
+    if let (Some(path), Some(trace_session)) = (emit.trace, trace_session) {
         let collected = trace_session.finish();
         if let Err(e) = std::fs::write(&path, collected.to_chrome_json()) {
             eprintln!("error writing trace to `{path}`: {e}");
@@ -189,7 +294,7 @@ fn main() {
         eprint!("{}", collected.summary().to_table());
         eprintln!("trace written to {path}");
     }
-    if let Some(path) = metrics_path {
+    if let Some(path) = emit.metrics {
         let json = obs::snapshot().to_json();
         drop(session);
         if let Err(e) = std::fs::write(&path, json) {
@@ -200,8 +305,96 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|faultmc|all> [--metrics <path>] [--trace <path>] [--live <path>] [--progress]\n\
-       repro faultmc [--trials N] [--seed S] [--rate R] [--threads T] [--checkpoint <path>] [--deadline-ms MS] [--live <path>] [--progress]";
+const USAGE: &str = "usage: repro <table2|table3|table4|table5|table6|table7|fig5|fig6|fig7|fig8|fig9|jpeg|variation|faultmc|all> [--emit <metrics|trace|live>=<path>] [--progress]\n\
+       repro faultmc [--trials N] [--seed S] [--rate R] [--threads T] [--checkpoint <path>] [--deadline-ms MS]\n\
+       repro serve [--socket <path>] [--workers N] [--cache-mb MB] [--max-pending N] [--threads T] [--emit metrics=<path>] [--emit live=<path>]\n\
+       repro client --socket <path> [--shutdown] [<request-json>...]\n\
+       exit codes: 0 ok, 1 failure, 2 config/usage error, 3 interrupted, 4 server-protocol error";
+
+/// `repro serve`: run the session server until shutdown.
+fn run_serve(args: &ServeArgs, faultmc: &FaultMcArgs, emit: &EmitSpec) -> i32 {
+    let options = ServeOptions {
+        socket: args.socket.clone(),
+        workers: args.workers,
+        cache_bytes: args.cache_mb << 20,
+        max_pending_per_client: if args.max_pending == 0 {
+            ServeOptions::default().max_pending_per_client
+        } else {
+            args.max_pending
+        },
+        threads_per_job: faultmc.threads,
+        metrics_path: emit.metrics.clone(),
+        live_path: emit.live.clone(),
+    };
+    match serve(options) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+/// Maps one server response line onto the exit-code contract.
+fn response_exit_code(response: &str) -> i32 {
+    let Ok(value) = obs::parse_json(response) else {
+        return 4;
+    };
+    if value.get("ok").and_then(|v| v.as_bool()) == Some(true) {
+        return 0;
+    }
+    match value
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(|c| c.as_str())
+    {
+        Some("config") => 2,
+        Some("cancelled" | "deadline") => 3,
+        _ => 4,
+    }
+}
+
+/// `repro client`: handshake, send each request, print every line.
+fn run_client(args: &ServeArgs, requests: &[String]) -> i32 {
+    let Some(socket) = &args.socket else {
+        eprintln!("client mode requires --socket <path>");
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let mut client = match Client::connect(socket) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("client: {e}");
+            return 4;
+        }
+    };
+    let mut code = 0;
+    for request in requests {
+        match client.call(request) {
+            Ok(outcome) => {
+                for event in &outcome.events {
+                    println!("{event}");
+                }
+                println!("{}", outcome.response);
+                let this = response_exit_code(&outcome.response);
+                if code == 0 {
+                    code = this;
+                }
+            }
+            Err(e) => {
+                eprintln!("client: {e}");
+                return 4;
+            }
+        }
+    }
+    if args.shutdown {
+        if let Err(e) = client.shutdown() {
+            eprintln!("client: {e}");
+            return 4;
+        }
+    }
+    code
+}
 
 fn run_faultmc(args: &FaultMcArgs) -> Result<String, Box<dyn std::error::Error>> {
     let config = Config::fully_connected_mlp(&[128, 64])?;

@@ -317,6 +317,38 @@ impl PreparedSystem {
         self.n_sources
     }
 
+    /// Rough resident size of this prepared system in bytes — dominated
+    /// by the cached factorization (dense LU: `unknowns²` doubles;
+    /// sparse LU: the factor non-zeros). Used by byte-budgeted artifact
+    /// caches to decide eviction; an estimate, not an allocator truth.
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<Self>();
+        bytes += self.lin.len() * 48;
+        bytes += self.last_x.as_ref().map_or(0, |x| x.len() * 8);
+        bytes += self.last_iterations.len() * 8;
+        bytes += match &self.kind {
+            SystemKind::Reduced {
+                index,
+                unknowns,
+                bindings,
+                ops,
+                engine,
+            } => {
+                let structure = index.len() * 8 + bindings.len() * 16 + ops.len() * 24;
+                let factors = match engine {
+                    ReducedEngine::Dense(_) => unknowns * unknowns * 8 + unknowns * 8,
+                    ReducedEngine::Sparse(lu) => lu.lu_nnz() * 16 + unknowns * 24,
+                    ReducedEngine::Cg(matrix) => matrix.nnz() * 12 + unknowns * 8,
+                    ReducedEngine::Empty => 0,
+                };
+                structure + factors
+            }
+            SystemKind::FullMna { n, ops, .. } => n * n * 8 + n * 8 + ops.len() * 24,
+            SystemKind::Nonlinear => 0,
+        };
+        bytes
+    }
+
     /// The options the system was built with.
     pub fn options(&self) -> &BatchOptions {
         &self.options

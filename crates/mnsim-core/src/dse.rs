@@ -523,7 +523,11 @@ pub fn explore_controlled(
 /// Fingerprints the sweep identity: base config, swept ranges, and
 /// constraints (feasibility flags depend on them); excludes thread count
 /// and the checkpoint policy.
-fn sweep_fingerprint(base: &Config, space: &DesignSpace, constraints: &Constraints) -> u64 {
+pub(crate) fn sweep_fingerprint(
+    base: &Config,
+    space: &DesignSpace,
+    constraints: &Constraints,
+) -> u64 {
     let canonical = format!("dse|config={base:?}|space={space:?}|constraints={constraints:?}");
     checkpoint::fnv64(canonical.as_bytes())
 }
@@ -620,38 +624,6 @@ fn load_dse_checkpoint(
         }
     }
     Ok(resumed)
-}
-
-/// Multi-threaded variant of [`explore`].
-///
-/// Deprecated shim over [`explore_with`]; kept for source compatibility,
-/// including its historical ordering of the feasible list by
-/// `(crossbar_size, parallelism, interconnect nm)` rather than traversal
-/// order.
-///
-/// # Errors
-///
-/// Same conditions as [`explore_with`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use explore_with with ExecOptions (returns feasible designs in traversal order)"
-)]
-pub fn explore_parallel(
-    base: &Config,
-    space: &DesignSpace,
-    constraints: &Constraints,
-    threads: usize,
-) -> Result<DseResult, CoreError> {
-    let mut result = explore_with(
-        base,
-        space,
-        constraints,
-        &ExecOptions::with_threads(threads.max(1)),
-    )?;
-    result
-        .feasible
-        .sort_by_key(|p| (p.crossbar_size, p.parallelism, p.interconnect.nanometers()));
-    Ok(result)
 }
 
 fn evaluate_point(
@@ -804,22 +776,6 @@ mod tests {
             // bit-identical to the serial traversal.
             assert_eq!(serial, parallel, "threads={threads}");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_parallel_shim_sorts_by_design_key() {
-        let legacy =
-            explore_parallel(&base(), &small_space(), &Constraints::default(), 4).unwrap();
-        let mut sorted = legacy.feasible.clone();
-        sorted.sort_by_key(|p| (p.crossbar_size, p.parallelism, p.interconnect.nanometers()));
-        assert_eq!(legacy.feasible, sorted);
-        assert_eq!(
-            legacy.evaluated,
-            explore(&base(), &small_space(), &Constraints::default())
-                .unwrap()
-                .evaluated
-        );
     }
 
     #[test]

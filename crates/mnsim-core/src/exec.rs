@@ -85,9 +85,9 @@ const CHUNKS_PER_WORKER: usize = 4;
 /// [`crate::validate::validate_against_circuit_with`], and the
 /// [`crate::simulator::Simulator`] facade).
 ///
-/// One struct replaces the historical per-subsystem knobs
-/// (`FaultConfig::threads`, the `explore_parallel` thread argument, and
-/// the `--metrics` / `--trace` CLI plumbing).
+/// One struct replaces the historical per-subsystem knobs (the removed
+/// `FaultConfig::threads` field, the removed `explore_parallel` thread
+/// argument, and the `--metrics` / `--trace` CLI plumbing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExecOptions {
     /// Worker threads: `0` uses the machine's available parallelism, `1`

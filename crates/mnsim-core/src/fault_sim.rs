@@ -67,16 +67,6 @@ pub struct FaultConfig {
     /// Defective-cell fraction (after spare-row repair) beyond which the
     /// bank is retired instead of operated degraded.
     pub retire_threshold: f64,
-    /// Worker threads for the Monte-Carlo trial loop; `0` uses the
-    /// available parallelism, `1` forces the serial path. Trials are
-    /// seed-decorrelated and reduced in trial order, so the result is
-    /// bit-identical for every thread count.
-    ///
-    /// Superseded by [`ExecOptions::threads`]: only the deprecated
-    /// [`simulate_with_faults`] entry point reads this field;
-    /// [`simulate_with_faults_with`] takes its thread count from the
-    /// shared [`ExecOptions`] instead.
-    pub threads: usize,
     /// Input vectors read per surviving trial (≥ 1). The first read uses
     /// the campaign's primary activations through the recovery ladder;
     /// extra reads are solved as a batch over one
@@ -102,7 +92,6 @@ impl Default for FaultConfig {
             seed: 0x00C0_FFEE,
             spare_rows: 2,
             retire_threshold: 0.25,
-            threads: 0,
             inputs_per_trial: 1,
             checkpoint: None,
         }
@@ -415,30 +404,6 @@ fn run_trial(context: &TrialContext<'_>, trial: usize) -> Result<TrialOutcome, C
     })
 }
 
-/// Runs the full MNSIM simulation plus a fault-injection campaign.
-///
-/// Deprecated shim over [`simulate_with_faults_with`], kept for source
-/// compatibility: the Monte-Carlo worker count comes from the legacy
-/// [`FaultConfig::threads`] field.
-///
-/// # Errors
-///
-/// See [`simulate_with_faults_with`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use simulate_with_faults_with with ExecOptions (FaultConfig::threads is superseded)"
-)]
-pub fn simulate_with_faults(
-    config: &Config,
-    fault_config: &FaultConfig,
-) -> Result<Report, CoreError> {
-    simulate_with_faults_with(
-        config,
-        fault_config,
-        &ExecOptions::with_threads(fault_config.threads),
-    )
-}
-
 /// Runs the full MNSIM simulation plus a fault-injection campaign on the
 /// shared [`exec`] worker pool.
 ///
@@ -448,8 +413,7 @@ pub fn simulate_with_faults(
 /// statistics.
 ///
 /// Both the clean simulation and the Monte-Carlo trial loop use
-/// `options.threads` (the legacy [`FaultConfig::threads`] field is
-/// ignored here); trials are seed-decorrelated and reduced in trial
+/// `options.threads`; trials are seed-decorrelated and reduced in trial
 /// order, so the summary is bit-identical for every thread count.
 ///
 /// # Errors
@@ -756,7 +720,7 @@ fn reduce_outcomes(fault_config: &FaultConfig, outcomes: &[TrialOutcome]) -> Fau
 /// per-trial outcomes (network config, rates, trial count, master seed,
 /// repair parameters) and nothing that doesn't (thread count, the
 /// checkpoint policy itself).
-fn campaign_fingerprint(config: &Config, fault_config: &FaultConfig) -> u64 {
+pub(crate) fn campaign_fingerprint(config: &Config, fault_config: &FaultConfig) -> u64 {
     let canonical = format!(
         "fault_mc|config={config:?}|rates={rates:?}|trials={trials}|seed={seed:#018x}|\
          spare_rows={spare}|retire_threshold={retire:?}|inputs_per_trial={reads}",
@@ -934,17 +898,13 @@ mod tests {
         Config::fully_connected_mlp(&[64, 32]).unwrap()
     }
 
-    // Shadows the deprecated shim with the equivalent modern call, so the
-    // campaign tests below exercise the ExecOptions path.
+    // Default-ExecOptions shorthand so the campaign tests below stay
+    // terse while exercising the shared worker-pool path.
     fn simulate_with_faults(
         config: &Config,
         fault_config: &FaultConfig,
     ) -> Result<Report, CoreError> {
-        simulate_with_faults_with(
-            config,
-            fault_config,
-            &ExecOptions::with_threads(fault_config.threads),
-        )
+        simulate_with_faults_with(config, fault_config, &ExecOptions::default())
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   cancellation/deadlines and per-item panic isolation),
 //! * [`checkpoint`] — deterministic checkpoint/resume for long campaigns
 //!   ([`CheckpointPolicy`]),
+//! * [`cache`] — the fingerprint-keyed cross-request artifact cache
+//!   ([`ArtifactCache`]) behind [`Session`] and `mnsim-serve`,
 //! * [`simulator`] — the [`Simulator`] session facade over simulate,
 //!   fault campaigns, DSE and validation,
 //! * [`dse`] — design-space exploration by exhaustive traversal (§VII),
@@ -52,6 +54,7 @@
 
 pub mod accuracy;
 pub mod arch;
+pub mod cache;
 pub mod checkpoint;
 pub mod circuit_forward;
 pub mod config;
@@ -72,13 +75,13 @@ pub mod simulator;
 pub mod training;
 pub mod validate;
 
+pub use cache::{Artifact, ArtifactCache, CacheStats};
 pub use checkpoint::CheckpointPolicy;
 pub use circuit_forward::CircuitLayer;
 pub use config::{Config, NetworkType, Precision, SignedMapping, WeightPolarity};
 pub use error::{ConfigError, CoreError};
 pub use exec::{CancelToken, Deadline, ExecError, ExecOptions, RunControl};
-#[allow(deprecated)]
-pub use fault_sim::{simulate_with_faults, FaultConfig, FaultSummary};
+pub use fault_sim::{FaultConfig, FaultSummary};
 pub use perf::ModulePerf;
 pub use simulate::{simulate, simulate_with, Report};
-pub use simulator::{RunHandle, Simulator};
+pub use simulator::{RunHandle, Session, Simulator};

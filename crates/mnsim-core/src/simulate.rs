@@ -47,7 +47,7 @@ pub struct Report {
     /// Average power of a single-sample run.
     pub power: Power,
     /// Fault-injection campaign results; `None` for a clean simulation
-    /// (populated by [`crate::fault_sim::simulate_with_faults`]).
+    /// (populated by [`crate::fault_sim::simulate_with_faults_with`]).
     pub faults: Option<FaultSummary>,
     /// Observability snapshot; `None` unless attached via
     /// [`Report::with_metrics`] (e.g. by a `--metrics` run).

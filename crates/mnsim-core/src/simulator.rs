@@ -1,14 +1,16 @@
 //! The unified `Simulator` session facade.
 //!
 //! Historically every capability had its own entry point and its own
-//! knobs: `simulate` (serial only), `simulate_with_faults` (threads on
-//! [`FaultConfig`]), `explore_parallel` (a bare thread argument), and the
+//! knobs: `simulate` (serial only), a fault campaign with threads on
+//! [`FaultConfig`], a DSE traversal with a bare thread argument, and the
 //! `--metrics` / `--trace` plumbing of the CLI front ends. [`Simulator`]
 //! replaces that with one builder: configure once, then [`Simulator::run`]
 //! a clean or faulty simulation, [`Simulator::explore`] a design space, or
 //! [`Simulator::validate`] against the circuit baseline — all on the same
 //! [`ExecOptions`] worker pool, with metrics and trace sessions owned by
-//! the facade.
+//! the facade. [`Session`] adds the cross-request layer on top: the same
+//! calls, answered from a fingerprint-keyed [`ArtifactCache`] when the
+//! configuration was already evaluated.
 //!
 //! Live telemetry composes from the *outside*: when a front end holds an
 //! open [`mnsim_obs::live`] session, the fault-campaign and DSE wave
@@ -31,15 +33,18 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
+
 use mnsim_obs as obs;
 use mnsim_obs::trace;
 
-use crate::checkpoint::CheckpointPolicy;
+use crate::cache::{Artifact, ArtifactCache};
+use crate::checkpoint::{self, CheckpointPolicy};
 use crate::config::Config;
-use crate::dse::{explore_with, Constraints, DesignSpace, DseResult};
+use crate::dse::{explore_with, sweep_fingerprint, Constraints, DesignSpace, DseResult};
 use crate::error::CoreError;
 use crate::exec::{CancelToken, Deadline, ExecOptions, RunControl};
-use crate::fault_sim::{simulate_with_faults_controlled, FaultConfig};
+use crate::fault_sim::{campaign_fingerprint, simulate_with_faults_controlled, FaultConfig};
 use crate::simulate::{simulate_with, Report};
 use crate::validate::{validate_against_circuit_with, ValidationRow};
 
@@ -118,8 +123,7 @@ impl Simulator {
     }
 
     /// Attach a fault-injection campaign to [`Simulator::run`]; the
-    /// Monte-Carlo trial loop uses this session's thread count (the
-    /// legacy [`FaultConfig::threads`] field is ignored).
+    /// Monte-Carlo trial loop uses this session's thread count.
     #[must_use]
     pub fn faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
@@ -280,6 +284,153 @@ impl Simulator {
             &self.options,
         )
     }
+
+    /// Wraps this simulator in a [`Session`] with its own fresh
+    /// [`ArtifactCache`] (default budget).
+    #[must_use]
+    pub fn into_session(self) -> Session {
+        self.into_session_with(Arc::new(ArtifactCache::new()))
+    }
+
+    /// Wraps this simulator in a [`Session`] over a shared
+    /// [`ArtifactCache`] — the shape `mnsim-serve` uses, where many
+    /// sessions (one per request) share one process-wide cache.
+    #[must_use]
+    pub fn into_session_with(self, cache: Arc<ArtifactCache>) -> Session {
+        Session { sim: self, cache }
+    }
+}
+
+/// A [`Simulator`] with memory: the same `run`/`explore`/`validate`
+/// calls, answered from a fingerprint-keyed [`ArtifactCache`] when this
+/// configuration was already evaluated (by this session or any other
+/// session sharing the cache).
+///
+/// Results come back as [`Arc`]s because they may be shared with the
+/// cache and with concurrent readers. Cached artifacts are **stripped**
+/// of per-run `metrics`/`trace` attachments — those describe one
+/// execution, not the configuration, and would otherwise make a cache
+/// hit observably different from the run that populated it. Everything
+/// else is bit-identical: results are deterministic at any thread count,
+/// so a hit is indistinguishable from a re-run.
+///
+/// Fingerprints cover exactly what determines the result (config, fault
+/// campaign parameters, design space, constraints, validation sampling)
+/// and exclude what does not (thread count, metrics/trace flags,
+/// deadlines, checkpoint policies).
+#[derive(Debug, Clone)]
+pub struct Session {
+    sim: Simulator,
+    cache: Arc<ArtifactCache>,
+}
+
+impl Session {
+    /// The underlying simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The shared artifact cache.
+    pub fn cache(&self) -> &Arc<ArtifactCache> {
+        &self.cache
+    }
+
+    /// The cache key of [`Session::run`]: the campaign fingerprint when a
+    /// fault campaign is attached (same identity the checkpoint layer
+    /// uses), otherwise the clean-simulation config fingerprint.
+    pub fn run_fingerprint(&self) -> u64 {
+        match &self.sim.faults {
+            Some(fault_config) => campaign_fingerprint(&self.sim.config, fault_config),
+            None => {
+                let canonical = format!("simulate|config={:?}", self.sim.config);
+                checkpoint::fnv64(canonical.as_bytes())
+            }
+        }
+    }
+
+    /// The cache key of [`Session::explore`] for `space`/`constraints`
+    /// (the DSE checkpoint fingerprint).
+    pub fn explore_fingerprint(&self, space: &DesignSpace, constraints: &Constraints) -> u64 {
+        sweep_fingerprint(&self.sim.config, space, constraints)
+    }
+
+    /// The cache key of [`Session::validate`] for the given sampling
+    /// parameters.
+    pub fn validate_fingerprint(
+        &self,
+        matrices: usize,
+        inputs_per_matrix: usize,
+        seed: u64,
+    ) -> u64 {
+        let canonical = format!(
+            "validate|config={:?}|matrices={matrices}|inputs_per_matrix={inputs_per_matrix}|\
+             seed={seed:#018x}",
+            self.sim.config,
+        );
+        checkpoint::fnv64(canonical.as_bytes())
+    }
+
+    /// [`Simulator::run`] through the cache: a hit returns the stored
+    /// report without executing anything; a miss runs, stores the
+    /// stripped report, and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`]. Errors are never cached —
+    /// a failed run leaves the cache untouched.
+    pub fn run(&self) -> Result<Arc<Report>, CoreError> {
+        let key = self.run_fingerprint();
+        if let Some(Artifact::Report(report)) = self.cache.get(key) {
+            return Ok(report);
+        }
+        let mut report = self.sim.run()?;
+        report.metrics = None;
+        report.trace = None;
+        let report = Arc::new(report);
+        self.cache.insert(key, Artifact::Report(Arc::clone(&report)));
+        Ok(report)
+    }
+
+    /// [`Simulator::explore`] through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::explore`]; errors are never
+    /// cached.
+    pub fn explore(
+        &self,
+        space: &DesignSpace,
+        constraints: &Constraints,
+    ) -> Result<Arc<DseResult>, CoreError> {
+        let key = self.explore_fingerprint(space, constraints);
+        if let Some(Artifact::DseFront(result)) = self.cache.get(key) {
+            return Ok(result);
+        }
+        let result = Arc::new(self.sim.explore(space, constraints)?);
+        self.cache.insert(key, Artifact::DseFront(Arc::clone(&result)));
+        Ok(result)
+    }
+
+    /// [`Simulator::validate`] through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::validate`]; errors are never
+    /// cached.
+    pub fn validate(
+        &self,
+        matrices: usize,
+        inputs_per_matrix: usize,
+        seed: u64,
+    ) -> Result<Arc<Vec<ValidationRow>>, CoreError> {
+        let key = self.validate_fingerprint(matrices, inputs_per_matrix, seed);
+        if let Some(Artifact::Validation(rows)) = self.cache.get(key) {
+            return Ok(rows);
+        }
+        let rows = Arc::new(self.sim.validate(matrices, inputs_per_matrix, seed)?);
+        self.cache.insert(key, Artifact::Validation(Arc::clone(&rows)));
+        Ok(rows)
+    }
 }
 
 /// A cancellable, joinable in-flight run started by
@@ -418,6 +569,83 @@ mod tests {
             Err(CoreError::DeadlineExceeded { completed: 0, total: 16, .. }) => {}
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn session_caches_runs_and_shares_across_sessions() {
+        let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+        let cache = Arc::new(ArtifactCache::new());
+        let session = Simulator::new(config.clone())
+            .threads(2)
+            .into_session_with(Arc::clone(&cache));
+        let first = session.run().unwrap();
+        let second = session.run().unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit returns the cached Arc");
+        assert_eq!(cache.stats().hits, 1);
+
+        // A different session over the same cache and config also hits;
+        // thread count is excluded from the fingerprint.
+        let other = Simulator::new(config)
+            .threads(7)
+            .into_session_with(Arc::clone(&cache));
+        assert_eq!(other.run_fingerprint(), session.run_fingerprint());
+        let third = other.run().unwrap();
+        assert!(Arc::ptr_eq(&first, &third));
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn session_strips_per_run_attachments_before_caching() {
+        let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+        let session = Simulator::new(config.clone())
+            .threads(1)
+            .metrics(true)
+            .into_session();
+        let cached = session.run().unwrap();
+        assert!(cached.metrics.is_none());
+        assert!(cached.trace.is_none());
+        // The cached body equals a plain run.
+        let plain = Simulator::new(config).threads(1).run().unwrap();
+        assert_eq!(*cached, plain);
+    }
+
+    #[test]
+    fn session_fingerprints_separate_capabilities_and_campaigns() {
+        let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+        let clean = Simulator::new(config.clone()).into_session();
+        let faulty = Simulator::new(config)
+            .faults(FaultConfig {
+                trials: 3,
+                ..FaultConfig::default()
+            })
+            .into_session();
+        assert_ne!(clean.run_fingerprint(), faulty.run_fingerprint());
+        assert_ne!(
+            clean.validate_fingerprint(2, 2, 1),
+            clean.validate_fingerprint(2, 2, 2)
+        );
+    }
+
+    #[test]
+    fn session_caches_fault_campaigns_and_validation() {
+        let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+        let session = Simulator::new(config)
+            .threads(2)
+            .faults(FaultConfig {
+                trials: 3,
+                ..FaultConfig::default()
+            })
+            .into_session();
+        let first = session.run().unwrap();
+        assert!(first.faults.is_some());
+        let second = session.run().unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+
+        let rows = session.validate(2, 2, 7).unwrap();
+        let rows_again = session.validate(2, 2, 7).unwrap();
+        assert!(Arc::ptr_eq(&rows, &rows_again));
+        assert_eq!(session.cache().stats().hits, 2);
     }
 
     #[test]

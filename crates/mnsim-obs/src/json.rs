@@ -34,6 +34,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The number, if this is one.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -161,7 +161,7 @@ static SESSION_LOCK: Mutex<()> = Mutex::new(());
 /// * Open the session **before** spawning instrumented workers. Thread
 ///   spawning synchronizes-with the new thread, so workers spawned after
 ///   [`session`] returns are guaranteed to observe recording as enabled
-///   (the `fault_sim` / `explore_parallel` pools spawn inside the
+///   (the fault-campaign / DSE worker pools spawn inside the
 ///   session and are covered by this).
 /// * Work already in flight on threads spawned **before** the session
 ///   opened may race the flag flip: those threads can keep observing

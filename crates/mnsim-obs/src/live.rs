@@ -63,7 +63,8 @@
 //! ```
 
 use std::collections::{BTreeMap, VecDeque};
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
+use std::sync::Arc;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -102,6 +103,33 @@ pub fn wave_grain(total: usize) -> usize {
     }
 }
 
+/// An in-process subscriber to the live NDJSON stream: the callback
+/// receives every emitted line, **on the emitting thread**, before it is
+/// written to the sink. This is how a serving front end routes campaign
+/// events to the client whose job is running on that thread (the
+/// `mnsim-serve` session server registers one tap for its lifetime and
+/// dispatches on a worker-thread-local request id).
+#[derive(Clone)]
+pub struct LiveTap(Arc<dyn Fn(&str) + Send + Sync>);
+
+impl LiveTap {
+    /// Wraps `f` as a stream tap.
+    pub fn new(f: impl Fn(&str) + Send + Sync + 'static) -> Self {
+        LiveTap(Arc::new(f))
+    }
+
+    /// Invokes the tap on one NDJSON line.
+    fn call(&self, line: &str) {
+        (self.0)(line);
+    }
+}
+
+impl fmt::Debug for LiveTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("LiveTap(..)")
+    }
+}
+
 /// Configuration of a live telemetry session.
 #[derive(Debug, Clone)]
 pub struct LiveConfig {
@@ -116,15 +144,24 @@ pub struct LiveConfig {
     /// thread), so actual spacing is at least this.
     pub sample_period: Duration,
     /// Maximum NDJSON lines (events + samples) kept/written per session;
-    /// excess emissions are counted in [`LiveReport::dropped`].
+    /// excess emissions are counted in [`LiveReport::dropped`]. Only
+    /// enforced while [`LiveConfig::retain`] is on — an un-retained
+    /// stream has no buffer to bound.
     pub capacity: usize,
     /// Ring-buffer capacity of the sample time series (oldest dropped).
     pub sample_capacity: usize,
+    /// Keep every emitted line in memory for [`LiveReport::lines`]
+    /// (default). Long-running servers turn this off: the tap and the
+    /// file sink still receive every line, but nothing accumulates and
+    /// the [`LiveConfig::capacity`] bound never starts dropping events.
+    pub retain: bool,
+    /// In-process subscriber receiving every line on the emitting thread.
+    pub tap: Option<LiveTap>,
 }
 
 impl Default for LiveConfig {
     /// No file sink, no progress lines, 500 ms sample period, 65 536-line
-    /// stream bound, 1 024-point sample ring.
+    /// stream bound, 1 024-point sample ring, retained lines, no tap.
     fn default() -> Self {
         LiveConfig {
             path: None,
@@ -132,6 +169,8 @@ impl Default for LiveConfig {
             sample_period: Duration::from_millis(500),
             capacity: 65_536,
             sample_capacity: 1_024,
+            retain: true,
+            tap: None,
         }
     }
 }
@@ -155,6 +194,21 @@ impl LiveConfig {
     #[must_use]
     pub fn with_sample_period(mut self, period: Duration) -> Self {
         self.sample_period = period;
+        self
+    }
+
+    /// Registers an in-process tap receiving every line as it is emitted.
+    #[must_use]
+    pub fn with_tap(mut self, tap: LiveTap) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Controls in-memory retention of the stream (see
+    /// [`LiveConfig::retain`]).
+    #[must_use]
+    pub fn with_retain(mut self, retain: bool) -> Self {
+        self.retain = retain;
         self
     }
 }
@@ -294,6 +348,8 @@ struct Hub {
     sink: Option<BufWriter<File>>,
     sink_failed: bool,
     progress: bool,
+    retain: bool,
+    tap: Option<LiveTap>,
     capacity: usize,
     emitted: u64,
     dropped: u64,
@@ -346,6 +402,8 @@ pub fn session(config: LiveConfig) -> Result<LiveSession, String> {
         sink,
         sink_failed: false,
         progress: config.progress,
+        retain: config.retain,
+        tap: config.tap,
         capacity: config.capacity,
         emitted: 0,
         dropped: 0,
@@ -523,15 +581,19 @@ fn emit_locked(hub: &mut Hub, event: &LiveEvent) {
     maybe_sample(hub);
 }
 
-/// Appends one NDJSON line to the in-memory stream and the sink
-/// (flushing, so `tail -f` sees it immediately), honoring the stream
-/// bound.
+/// Appends one NDJSON line to the tap, the in-memory stream, and the
+/// sink (flushing, so `tail -f` sees it immediately), honoring the
+/// stream bound. With retention off only the tap and sink see the line —
+/// nothing accumulates and the bound never drops.
 fn push_line(hub: &mut Hub, line: String) {
-    if hub.emitted >= hub.capacity as u64 {
+    if hub.retain && hub.emitted >= hub.capacity as u64 {
         hub.dropped += 1;
         return;
     }
     hub.emitted += 1;
+    if let Some(tap) = &hub.tap {
+        tap.call(&line);
+    }
     if let Some(sink) = &mut hub.sink {
         if !hub.sink_failed {
             let failed = writeln!(sink, "{line}").is_err() || sink.flush().is_err();
@@ -543,7 +605,9 @@ fn push_line(hub: &mut Hub, line: String) {
             }
         }
     }
-    hub.lines.push(line);
+    if hub.retain {
+        hub.lines.push(line);
+    }
 }
 
 /// Human stderr progress line for the campaign/wave events.
@@ -756,6 +820,38 @@ mod tests {
         assert_eq!(value.get("total").and_then(|v| v.as_f64()), Some(8.0));
         assert!(value.get("eta_s").is_some());
         assert!(value.get("items_per_s").is_some());
+        drop(metrics);
+    }
+
+    #[test]
+    fn tap_sees_every_line_and_retain_off_keeps_nothing() {
+        let seen = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&seen);
+        // A bound far below the emission count: with retention off it
+        // must not drop anything.
+        let mut config = LiveConfig::default()
+            .with_retain(false)
+            .with_tap(LiveTap::new(move |line| {
+                sink.lock().unwrap().push(line.to_string());
+            }));
+        config.capacity = 2;
+        let (metrics, live) = locked_session(config);
+        campaign_started("tapped", 4, 0);
+        wave_completed(2, 4, None);
+        wave_completed(4, 4, None);
+        campaign_finished(4, 4, "complete");
+        let report = live.finish();
+        assert_eq!(report.dropped, 0, "retain-off streams never drop");
+        assert!(report.lines.is_empty(), "retain-off keeps no lines");
+        assert_eq!(report.events, 4);
+        let tapped = seen.lock().unwrap();
+        assert_eq!(tapped.len(), 4, "{tapped:?}");
+        for line in tapped.iter() {
+            let value = parse_json(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+            assert!(value.get("event").is_some(), "{line}");
+        }
+        assert!(tapped[0].contains("campaign_started"));
+        assert!(tapped[3].contains("campaign_finished"));
         drop(metrics);
     }
 

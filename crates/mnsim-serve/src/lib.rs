@@ -1,0 +1,47 @@
+//! # mnsim-serve — simulation as a service
+//!
+//! A persistent session server for the MNSIM platform: instead of paying
+//! configuration parsing, system preparation, and full re-evaluation on
+//! every CLI invocation, a long-running server process keeps a
+//! cross-request [`ArtifactCache`](mnsim_core::cache::ArtifactCache) of
+//! finished reports, validation tables, and DSE fronts — keyed by the
+//! same FNV config fingerprints the checkpoint layer uses — and answers
+//! repeated or concurrent identical requests from it.
+//!
+//! The wire protocol ([`protocol`]) is deliberately dependency-free:
+//! versioned line-delimited JSON over a unix socket or stdio, with a
+//! `schema_version` handshake, client-chosen request ids, typed error
+//! payloads (reusing [`ConfigError`](mnsim_core::error::ConfigError)
+//! field paths), and streamed progress events that ride the
+//! `mnsim-obs` live-telemetry NDJSON machinery unchanged.
+//!
+//! The server ([`server`]) runs requests on a small worker pool with
+//! per-client round-robin fairness and per-client backpressure,
+//! deduplicates identical in-flight requests onto one evaluation
+//! (every waiter gets the same bit-identical result — results are
+//! deterministic at any thread count), and evicts least-recently-used
+//! artifacts under a configurable memory budget.
+//!
+//! The client ([`client`]) is a thin synchronous helper used by
+//! `repro client` and the integration tests.
+//!
+//! ```no_run
+//! use mnsim_serve::server::{serve, ServeOptions};
+//!
+//! let options = ServeOptions {
+//!     socket: Some("/tmp/mnsim.sock".into()),
+//!     ..ServeOptions::default()
+//! };
+//! serve(options).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{ErrorCode, Op, Request, WireError, SCHEMA_VERSION};
+pub use server::{serve, ServeOptions};

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release --example design_space_exploration \
-//!     [-- --metrics <path>] [--trace <path>] [--live <path>] [--progress]
+//!     [-- --emit <metrics|trace|live>=<path>]... [--progress]
 //! ```
 //!
 //! With `--live <path>` the sweep streams NDJSON progress events
@@ -121,8 +121,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// `(metrics, trace, live, progress)` flag tuple.
 type SweepFlags = (Option<String>, Option<String>, Option<String>, bool);
 
-/// Parses the optional `--metrics <path>`, `--trace <path>`,
-/// `--live <path>` and `--progress` arguments.
+/// Parses the `--emit <kind>=<path>` artifact spec and `--progress`.
+/// The pre-unification `--metrics` / `--trace` / `--live` spellings
+/// remain as deprecated aliases.
 fn paths_from_args() -> Result<SweepFlags, Box<dyn std::error::Error>> {
     let mut metrics = None;
     let mut trace = None;
@@ -131,13 +132,26 @@ fn paths_from_args() -> Result<SweepFlags, Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--emit" => {
+                let spec = args.next().ok_or("--emit requires <kind>=<path>")?;
+                let (kind, path) = spec.split_once('=').ok_or("--emit expects <kind>=<path>")?;
+                match kind {
+                    "metrics" => metrics = Some(path.to_string()),
+                    "trace" => trace = Some(path.to_string()),
+                    "live" => live = Some(path.to_string()),
+                    _ => return Err("--emit: unknown kind (metrics, trace, live)".into()),
+                }
+            }
             "--metrics" => {
+                eprintln!("note: `--metrics <path>` is deprecated; use `--emit metrics=<path>`");
                 metrics = Some(args.next().ok_or("--metrics requires a file path")?);
             }
             "--trace" => {
+                eprintln!("note: `--trace <path>` is deprecated; use `--emit trace=<path>`");
                 trace = Some(args.next().ok_or("--trace requires a file path")?);
             }
             "--live" => {
+                eprintln!("note: `--live <path>` is deprecated; use `--emit live=<path>`");
                 live = Some(args.next().ok_or("--live requires a file path")?);
             }
             "--progress" => progress = true,

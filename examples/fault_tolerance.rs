@@ -3,9 +3,8 @@
 //!
 //! ```text
 //! cargo run --release --example fault_tolerance \
-//!     [-- --metrics <path>] [--trace <path>] \
-//!     [--checkpoint <dir>] [--deadline-ms <ms>] \
-//!     [--live <path>] [--progress]
+//!     [-- --emit <metrics|trace|live>=<path>]... \
+//!     [--checkpoint <dir>] [--deadline-ms <ms>] [--progress]
 //! ```
 //!
 //! Each sweep point runs a seeded Monte-Carlo fault campaign on top of the
@@ -136,8 +135,9 @@ struct SweepArgs {
     progress: bool,
 }
 
-/// Parses the optional `--metrics`, `--trace`, `--checkpoint`,
-/// `--deadline-ms`, `--live` and `--progress` arguments.
+/// Parses the `--emit <kind>=<path>` artifact spec plus `--checkpoint`,
+/// `--deadline-ms`, and `--progress`. The pre-unification `--metrics` /
+/// `--trace` / `--live` spellings remain as deprecated aliases.
 fn sweep_args() -> Result<SweepArgs, Box<dyn std::error::Error>> {
     let mut parsed = SweepArgs {
         metrics: None,
@@ -150,10 +150,22 @@ fn sweep_args() -> Result<SweepArgs, Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--emit" => {
+                let spec = args.next().ok_or("--emit requires <kind>=<path>")?;
+                let (kind, path) = spec.split_once('=').ok_or("--emit expects <kind>=<path>")?;
+                match kind {
+                    "metrics" => parsed.metrics = Some(path.to_string()),
+                    "trace" => parsed.trace = Some(path.to_string()),
+                    "live" => parsed.live = Some(path.to_string()),
+                    _ => return Err("--emit: unknown kind (metrics, trace, live)".into()),
+                }
+            }
             "--metrics" => {
+                eprintln!("note: `--metrics <path>` is deprecated; use `--emit metrics=<path>`");
                 parsed.metrics = Some(args.next().ok_or("--metrics requires a file path")?);
             }
             "--trace" => {
+                eprintln!("note: `--trace <path>` is deprecated; use `--emit trace=<path>`");
                 parsed.trace = Some(args.next().ok_or("--trace requires a file path")?);
             }
             "--checkpoint" => {
@@ -165,6 +177,7 @@ fn sweep_args() -> Result<SweepArgs, Box<dyn std::error::Error>> {
                 parsed.deadline_ms = Some(value.parse().map_err(|_| "--deadline-ms: bad value")?);
             }
             "--live" => {
+                eprintln!("note: `--live <path>` is deprecated; use `--emit live=<path>`");
                 parsed.live = Some(args.next().ok_or("--live requires a file path")?);
             }
             "--progress" => parsed.progress = true,

@@ -9,6 +9,8 @@
 //! * [`circuit`] — SPICE-class DC circuit simulator ([`mnsim_circuit`]),
 //! * [`nn`] — neural-network substrate ([`mnsim_nn`]),
 //! * [`core`] — the MNSIM platform itself ([`mnsim_core`]),
+//! * [`serve`] — the simulation-as-a-service session server and client
+//!   ([`mnsim_serve`]),
 //!
 //! and gathers the session-level API in [`prelude`]: build a
 //! [`Simulator`], set its [`ExecOptions`] once, and run, explore, or
@@ -35,6 +37,7 @@ pub use mnsim_circuit as circuit;
 pub use mnsim_core as core;
 pub use mnsim_obs as obs;
 pub use mnsim_nn as nn;
+pub use mnsim_serve as serve;
 pub use mnsim_tech as tech;
 
 pub use mnsim_core::{ExecOptions, Simulator};
@@ -46,6 +49,7 @@ pub use mnsim_core::{ExecOptions, Simulator};
 /// simulation, fault-campaign, design-space-exploration, or validation
 /// program needs.
 pub mod prelude {
+    pub use mnsim_core::cache::{Artifact, ArtifactCache, CacheStats};
     pub use mnsim_core::checkpoint::CheckpointPolicy;
     pub use mnsim_core::config::Config;
     pub use mnsim_core::dse::{Constraints, DesignSpace, DseResult, Objective};
@@ -53,7 +57,7 @@ pub mod prelude {
     pub use mnsim_core::exec::{CancelToken, Deadline, ExecError, ExecOptions, RunControl};
     pub use mnsim_core::fault_sim::{FaultConfig, FaultSummary};
     pub use mnsim_core::simulate::Report;
-    pub use mnsim_core::simulator::{RunHandle, Simulator};
+    pub use mnsim_core::simulator::{RunHandle, Session, Simulator};
     pub use mnsim_core::validate::ValidationRow;
     pub use mnsim_tech::fault::FaultRates;
 }

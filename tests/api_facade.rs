@@ -1,16 +1,19 @@
-//! Facade-equivalence suite for the unified `Simulator` session API.
+//! Facade-equivalence suite for the unified `Simulator`/`Session` API.
 //!
 //! The contract under test: every capability reached through
-//! [`Simulator`] produces results identical to the legacy entry points —
-//! and identical across every [`ExecOptions`] permutation. "Identical"
-//! is checked at the strongest level available: full-`Report` equality
-//! plus byte-for-byte equality of the canonical
+//! [`Simulator`] — and through a caching [`Session`] wrapped around it —
+//! produces results identical to the underlying entry points, identical
+//! across every [`ExecOptions`] permutation, and identical whether a
+//! result was freshly evaluated or answered from the artifact cache.
+//! "Identical" is checked at the strongest level available:
+//! full-`Report` equality plus byte-for-byte equality of the canonical
 //! [`report_json`](mnsim::core::report::report_json) rendering (which
 //! round-trips every float through shortest-representation formatting,
 //! so two JSONs are byte-equal iff the reports are bit-identical;
 //! metrics/trace timing attachments are deliberately outside it).
 
 use mnsim::core::dse::explore;
+use mnsim::core::fault_sim::simulate_with_faults_with;
 use mnsim::core::report::report_json;
 use mnsim::core::simulate::simulate;
 use mnsim::core::validate::validate_against_circuit;
@@ -43,9 +46,8 @@ fn simulator_fault_campaign_matches_legacy_at_every_thread_count() {
         trials: 6,
         ..FaultConfig::default()
     };
-    #[allow(deprecated)]
     let legacy =
-        mnsim::core::fault_sim::simulate_with_faults(&config, &fault_config).unwrap();
+        simulate_with_faults_with(&config, &fault_config, &ExecOptions::serial()).unwrap();
     let legacy_json = report_json(&legacy);
     for threads in THREAD_COUNTS {
         let report = Simulator::new(config.clone())
@@ -94,6 +96,50 @@ fn simulator_validate_matches_legacy_serial_validate() {
             .unwrap();
         assert_eq!(legacy, rows, "threads={threads}");
     }
+}
+
+#[test]
+fn session_cache_hits_are_byte_identical_to_fresh_runs() {
+    // The artifact cache must be observationally invisible: a hit is
+    // byte-for-byte the same report a fresh evaluation produces.
+    let config = Config::fully_connected_mlp(&[128, 64]).unwrap();
+    let fresh_json = report_json(&simulate(&config).unwrap());
+
+    let cache = std::sync::Arc::new(ArtifactCache::new());
+    let session = Simulator::new(config.clone())
+        .threads(2)
+        .into_session_with(std::sync::Arc::clone(&cache));
+    let miss = session.run().unwrap();
+    assert_eq!(report_json(&miss), fresh_json, "miss equals a legacy run");
+
+    // A different session (different thread count) over the shared cache
+    // hits and returns the identical bytes.
+    let other = Simulator::new(config)
+        .threads(7)
+        .into_session_with(cache);
+    let hit = other.run().unwrap();
+    assert_eq!(report_json(&hit), fresh_json, "hit equals a legacy run");
+    assert_eq!(other.cache().stats().hits, 1);
+}
+
+#[test]
+fn session_fault_campaign_hit_matches_legacy_bytes() {
+    let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
+    let fault_config = FaultConfig {
+        rates: FaultRates::stuck_at(0.03),
+        trials: 4,
+        ..FaultConfig::default()
+    };
+    let legacy_json = report_json(
+        &simulate_with_faults_with(&config, &fault_config, &ExecOptions::serial()).unwrap(),
+    );
+    let session = Simulator::new(config)
+        .threads(3)
+        .faults(fault_config)
+        .into_session();
+    assert_eq!(report_json(&session.run().unwrap()), legacy_json, "miss");
+    assert_eq!(report_json(&session.run().unwrap()), legacy_json, "hit");
+    assert_eq!(session.cache().stats().hits, 1);
 }
 
 proptest! {

@@ -2,17 +2,16 @@
 //! observationally identical to their serial counterparts — same feasible
 //! sets, bit-identical statistics, same errors — for any thread count.
 //!
-//! Deliberately written against the **deprecated** entry points
-//! (`explore_parallel`, `simulate_with_faults`): this file doubles as the
-//! compatibility suite proving the shims still compile and still produce
-//! the legacy behavior. The unified `Simulator` / `ExecOptions` surface
-//! has its own suite in `tests/api_facade.rs`.
-#![allow(deprecated)]
+//! Written against the pool-based entry points (`explore_with`,
+//! `simulate_with_faults_with`) that every front end shares; the unified
+//! `Simulator`/`Session` surface has its own suite in
+//! `tests/api_facade.rs`.
 
 use mnsim::core::config::Config;
-use mnsim::core::dse::{explore, explore_parallel, Constraints, DesignPoint, DesignSpace};
+use mnsim::core::dse::{explore, explore_with, Constraints, DesignPoint, DesignSpace};
 use mnsim::core::error::CoreError;
-use mnsim::core::fault_sim::{simulate_with_faults, FaultConfig};
+use mnsim::core::exec::ExecOptions;
+use mnsim::core::fault_sim::{simulate_with_faults_with, FaultConfig};
 use mnsim::tech::fault::FaultRates;
 use mnsim::tech::interconnect::InterconnectNode;
 
@@ -38,7 +37,7 @@ fn sorted(mut points: Vec<DesignPoint>) -> Vec<DesignPoint> {
 }
 
 #[test]
-fn explore_parallel_equals_serial_for_every_thread_count() {
+fn explore_with_equals_serial_for_every_thread_count() {
     let base = dse_base();
     let space = dse_space();
     let constraints = Constraints::crossbar_error(0.3);
@@ -47,7 +46,9 @@ fn explore_parallel_equals_serial_for_every_thread_count() {
     assert!(!serial_feasible.is_empty());
 
     for threads in THREAD_COUNTS {
-        let parallel = explore_parallel(&base, &space, &constraints, threads).unwrap();
+        let parallel =
+            explore_with(&base, &space, &constraints, &ExecOptions::with_threads(threads))
+                .unwrap();
         assert_eq!(parallel.evaluated, serial.evaluated, "threads={threads}");
         // Full struct equality: geometry, interconnect, and every report
         // field must match the serial evaluation exactly.
@@ -60,7 +61,7 @@ fn explore_parallel_equals_serial_for_every_thread_count() {
 }
 
 #[test]
-fn explore_parallel_propagates_the_serial_error() {
+fn explore_with_propagates_the_serial_error() {
     // crossbar 2048 enumerates (power of two) but fails validation at
     // evaluation time, exercising the error path mid-traversal.
     let base = dse_base();
@@ -73,7 +74,13 @@ fn explore_parallel_propagates_the_serial_error() {
     assert!(matches!(serial_err, CoreError::Config { .. }));
 
     for threads in THREAD_COUNTS {
-        let err = explore_parallel(&base, &space, &Constraints::default(), threads).unwrap_err();
+        let err = explore_with(
+            &base,
+            &space,
+            &Constraints::default(),
+            &ExecOptions::with_threads(threads),
+        )
+        .unwrap_err();
         assert_eq!(
             err.to_string(),
             serial_err.to_string(),
@@ -83,7 +90,7 @@ fn explore_parallel_propagates_the_serial_error() {
 }
 
 #[test]
-fn explore_parallel_reports_earliest_of_several_errors() {
+fn explore_with_reports_earliest_of_several_errors() {
     // Two failing combinations; every thread count must deterministically
     // report the one that comes first in traversal order, as serial does.
     let base = dse_base();
@@ -94,7 +101,13 @@ fn explore_parallel_reports_earliest_of_several_errors() {
     };
     let serial_err = explore(&base, &space, &Constraints::default()).unwrap_err();
     for threads in THREAD_COUNTS {
-        let err = explore_parallel(&base, &space, &Constraints::default(), threads).unwrap_err();
+        let err = explore_with(
+            &base,
+            &space,
+            &Constraints::default(),
+            &ExecOptions::with_threads(threads),
+        )
+        .unwrap_err();
         assert_eq!(err.to_string(), serial_err.to_string(), "threads={threads}");
     }
 }
@@ -107,30 +120,20 @@ fn fault_campaign_is_bit_identical_across_thread_counts() {
         broken_bitline: 0.05,
         ..FaultRates::stuck_at(0.08)
     };
-    let serial = simulate_with_faults(
-        &config,
-        &FaultConfig {
-            rates,
-            trials: 9,
-            threads: 1,
-            ..FaultConfig::default()
-        },
-    )
-    .unwrap();
+    let fault_config = FaultConfig {
+        rates,
+        trials: 9,
+        ..FaultConfig::default()
+    };
+    let serial =
+        simulate_with_faults_with(&config, &fault_config, &ExecOptions::serial()).unwrap();
     let serial_faults = serial.faults.expect("campaign attaches a summary");
     assert!(serial_faults.solves > 0);
 
     for threads in THREAD_COUNTS {
-        let parallel = simulate_with_faults(
-            &config,
-            &FaultConfig {
-                rates,
-                trials: 9,
-                threads,
-                ..FaultConfig::default()
-            },
-        )
-        .unwrap();
+        let parallel =
+            simulate_with_faults_with(&config, &fault_config, &ExecOptions::with_threads(threads))
+                .unwrap();
         // Bit-identical, not approximately equal: trial seeds are derived
         // from the trial index and outcomes are reduced in trial order.
         assert_eq!(
@@ -143,22 +146,16 @@ fn fault_campaign_is_bit_identical_across_thread_counts() {
 
 #[test]
 fn fault_campaign_default_thread_count_matches_serial() {
-    // `threads: 0` (auto) must not change results either.
+    // Auto thread count (`threads: 0`) must not change results either.
     let config = Config::fully_connected_mlp(&[64, 32]).unwrap();
     let fault_config = FaultConfig {
         rates: FaultRates::stuck_at(0.05),
         trials: 5,
-        threads: 0,
         ..FaultConfig::default()
     };
-    let auto = simulate_with_faults(&config, &fault_config).unwrap();
-    let serial = simulate_with_faults(
-        &config,
-        &FaultConfig {
-            threads: 1,
-            ..fault_config
-        },
-    )
-    .unwrap();
+    let auto =
+        simulate_with_faults_with(&config, &fault_config, &ExecOptions::default()).unwrap();
+    let serial =
+        simulate_with_faults_with(&config, &fault_config, &ExecOptions::serial()).unwrap();
     assert_eq!(auto.faults, serial.faults);
 }
